@@ -1,0 +1,32 @@
+"""Benchmark harness configuration.
+
+Each ``test_bench_*`` file regenerates one of the paper's tables or
+figures via its experiment runner and asserts the shape checks as part
+of the benchmarked call — so the benchmark numbers below are the cost
+of reproducing each result, and a bench run doubles as a full
+reproduction run.
+
+Experiments are macro-scale (0.1-5 s each), so every benchmark runs a
+single round: ``benchmark.pedantic(fn, rounds=1, iterations=1)`` via
+the ``run_experiment`` fixture.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Benchmark one experiment runner and assert it passes."""
+
+    def runner(experiment_fn, seed=0, quick=True):
+        result = benchmark.pedantic(
+            experiment_fn, kwargs={"seed": seed, "quick": quick},
+            rounds=1, iterations=1,
+        )
+        failed = "; ".join(
+            f"{c.name} ({c.detail})" for c in result.failed_checks()
+        )
+        assert result.passed, f"{result.experiment_id} failed: {failed}"
+        return result
+
+    return runner

@@ -1,0 +1,14 @@
+"""Section 6: design-choice ablations.
+
+Regenerates the result through ``repro.experiments.ablations`` and
+benchmarks the reproduction; shape checks are asserted in the fixture.
+"""
+
+from repro.experiments import ablations
+
+
+def test_bench_ablations(run_experiment):
+    result = run_experiment(ablations.run)
+    assert result.experiment_id == "ablations"
+    print()
+    print(result.format_table(max_rows=8))

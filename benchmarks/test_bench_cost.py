@@ -1,0 +1,14 @@
+"""Section 3.5: density, cost, power.
+
+Regenerates the result through ``repro.experiments.cost`` and
+benchmarks the reproduction; shape checks are asserted in the fixture.
+"""
+
+from repro.experiments import cost
+
+
+def test_bench_cost(run_experiment):
+    result = run_experiment(cost.run)
+    assert result.experiment_id == "cost"
+    print()
+    print(result.format_table(max_rows=8))

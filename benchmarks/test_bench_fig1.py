@@ -1,0 +1,14 @@
+"""Fig 1: preemption percentiles, shared vs exclusive.
+
+Regenerates the result through ``repro.experiments.fig1`` and
+benchmarks the reproduction; shape checks are asserted in the fixture.
+"""
+
+from repro.experiments import fig1
+
+
+def test_bench_fig1(run_experiment):
+    result = run_experiment(fig1.run)
+    assert result.experiment_id == "fig1"
+    print()
+    print(result.format_table(max_rows=8))

@@ -1,0 +1,14 @@
+"""Fig 10: UDP/DPDK/ping latency.
+
+Regenerates the result through ``repro.experiments.fig10`` and
+benchmarks the reproduction; shape checks are asserted in the fixture.
+"""
+
+from repro.experiments import fig10
+
+
+def test_bench_fig10(run_experiment):
+    result = run_experiment(fig10.run)
+    assert result.experiment_id == "fig10"
+    print()
+    print(result.format_table(max_rows=8))

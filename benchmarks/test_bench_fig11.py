@@ -1,0 +1,14 @@
+"""Fig 11: fio latency/IOPS + unrestricted local SSD.
+
+Regenerates the result through ``repro.experiments.fig11`` and
+benchmarks the reproduction; shape checks are asserted in the fixture.
+"""
+
+from repro.experiments import fig11
+
+
+def test_bench_fig11(run_experiment):
+    result = run_experiment(fig11.run)
+    assert result.experiment_id == "fig11"
+    print()
+    print(result.format_table(max_rows=8))

@@ -1,0 +1,14 @@
+"""Fig 12: NGINX RPS sweep.
+
+Regenerates the result through ``repro.experiments.fig12`` and
+benchmarks the reproduction; shape checks are asserted in the fixture.
+"""
+
+from repro.experiments import fig12
+
+
+def test_bench_fig12(run_experiment):
+    result = run_experiment(fig12.run)
+    assert result.experiment_id == "fig12"
+    print()
+    print(result.format_table(max_rows=8))

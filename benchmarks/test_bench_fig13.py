@@ -1,0 +1,14 @@
+"""Fig 13: MariaDB read-only QPS.
+
+Regenerates the result through ``repro.experiments.fig13`` and
+benchmarks the reproduction; shape checks are asserted in the fixture.
+"""
+
+from repro.experiments import fig13
+
+
+def test_bench_fig13(run_experiment):
+    result = run_experiment(fig13.run)
+    assert result.experiment_id == "fig13"
+    print()
+    print(result.format_table(max_rows=8))

@@ -1,0 +1,14 @@
+"""Fig 14: MariaDB write-only / read-write QPS.
+
+Regenerates the result through ``repro.experiments.fig14`` and
+benchmarks the reproduction; shape checks are asserted in the fixture.
+"""
+
+from repro.experiments import fig14
+
+
+def test_bench_fig14(run_experiment):
+    result = run_experiment(fig14.run)
+    assert result.experiment_id == "fig14"
+    print()
+    print(result.format_table(max_rows=8))

@@ -1,0 +1,14 @@
+"""Fig 15: Redis RPS vs clients.
+
+Regenerates the result through ``repro.experiments.fig15`` and
+benchmarks the reproduction; shape checks are asserted in the fixture.
+"""
+
+from repro.experiments import fig15
+
+
+def test_bench_fig15(run_experiment):
+    result = run_experiment(fig15.run)
+    assert result.experiment_id == "fig15"
+    print()
+    print(result.format_table(max_rows=8))

@@ -1,0 +1,14 @@
+"""Fig 16: Redis RPS vs value size.
+
+Regenerates the result through ``repro.experiments.fig16`` and
+benchmarks the reproduction; shape checks are asserted in the fixture.
+"""
+
+from repro.experiments import fig16
+
+
+def test_bench_fig16(run_experiment):
+    result = run_experiment(fig16.run)
+    assert result.experiment_id == "fig16"
+    print()
+    print(result.format_table(max_rows=8))

@@ -1,0 +1,14 @@
+"""Fig 7: SPEC CINT2006, physical vs bm vs vm.
+
+Regenerates the result through ``repro.experiments.fig7`` and
+benchmarks the reproduction; shape checks are asserted in the fixture.
+"""
+
+from repro.experiments import fig7
+
+
+def test_bench_fig7(run_experiment):
+    result = run_experiment(fig7.run)
+    assert result.experiment_id == "fig7"
+    print()
+    print(result.format_table(max_rows=8))

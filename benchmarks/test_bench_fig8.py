@@ -1,0 +1,14 @@
+"""Fig 8: STREAM bandwidth.
+
+Regenerates the result through ``repro.experiments.fig8`` and
+benchmarks the reproduction; shape checks are asserted in the fixture.
+"""
+
+from repro.experiments import fig8
+
+
+def test_bench_fig8(run_experiment):
+    result = run_experiment(fig8.run)
+    assert result.experiment_id == "fig8"
+    print()
+    print(result.format_table(max_rows=8))

@@ -1,0 +1,14 @@
+"""Fig 9: UDP PPS + unrestricted 16M PPS run.
+
+Regenerates the result through ``repro.experiments.fig9`` and
+benchmarks the reproduction; shape checks are asserted in the fixture.
+"""
+
+from repro.experiments import fig9
+
+
+def test_bench_fig9(run_experiment):
+    result = run_experiment(fig9.run)
+    assert result.experiment_id == "fig9"
+    print()
+    print(result.format_table(max_rows=8))

@@ -1,0 +1,14 @@
+"""Section 6: future-work features, implemented and measured.
+
+Regenerates the result through ``repro.experiments.future_work`` and
+benchmarks the reproduction; shape checks are asserted in the fixture.
+"""
+
+from repro.experiments import future_work
+
+
+def test_bench_future_work(run_experiment):
+    result = run_experiment(future_work.run)
+    assert result.experiment_id == "future_work"
+    print()
+    print(result.format_table(max_rows=10))

@@ -1,0 +1,14 @@
+"""Section 3.4.3: IO-Bond microbenchmarks.
+
+Regenerates the result through ``repro.experiments.iobond_micro`` and
+benchmarks the reproduction; shape checks are asserted in the fixture.
+"""
+
+from repro.experiments import iobond_micro
+
+
+def test_bench_iobond(run_experiment):
+    result = run_experiment(iobond_micro.run)
+    assert result.experiment_id == "iobond_micro"
+    print()
+    print(result.format_table(max_rows=8))

@@ -1,0 +1,14 @@
+"""Section 2.3: nested virtualization.
+
+Regenerates the result through ``repro.experiments.nested`` and
+benchmarks the reproduction; shape checks are asserted in the fixture.
+"""
+
+from repro.experiments import nested
+
+
+def test_bench_nested(run_experiment):
+    result = run_experiment(nested.run)
+    assert result.experiment_id == "nested"
+    print()
+    print(result.format_table(max_rows=8))

@@ -1,0 +1,14 @@
+"""Section 2.2: isolation experiments.
+
+Regenerates the result through ``repro.experiments.security_exp`` and
+benchmarks the reproduction; shape checks are asserted in the fixture.
+"""
+
+from repro.experiments import security_exp
+
+
+def test_bench_security(run_experiment):
+    result = run_experiment(security_exp.run)
+    assert result.experiment_id == "security"
+    print()
+    print(result.format_table(max_rows=8))

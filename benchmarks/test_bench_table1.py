@@ -1,0 +1,14 @@
+"""Table 1: service-model comparison.
+
+Regenerates the result through ``repro.experiments.table1`` and
+benchmarks the reproduction; shape checks are asserted in the fixture.
+"""
+
+from repro.experiments import table1
+
+
+def test_bench_table1(run_experiment):
+    result = run_experiment(table1.run)
+    assert result.experiment_id == "table1"
+    print()
+    print(result.format_table(max_rows=8))

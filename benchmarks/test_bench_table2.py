@@ -1,0 +1,14 @@
+"""Table 2: fleet VM-exit census.
+
+Regenerates the result through ``repro.experiments.table2`` and
+benchmarks the reproduction; shape checks are asserted in the fixture.
+"""
+
+from repro.experiments import table2
+
+
+def test_bench_table2(run_experiment):
+    result = run_experiment(table2.run)
+    assert result.experiment_id == "table2"
+    print()
+    print(result.format_table(max_rows=8))

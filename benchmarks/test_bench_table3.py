@@ -1,0 +1,14 @@
+"""Table 3: instance catalog vs chassis budgets.
+
+Regenerates the result through ``repro.experiments.table3`` and
+benchmarks the reproduction; shape checks are asserted in the fixture.
+"""
+
+from repro.experiments import table3
+
+
+def test_bench_table3(run_experiment):
+    result = run_experiment(table3.run)
+    assert result.experiment_id == "table3"
+    print()
+    print(result.format_table(max_rows=8))

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Scenario: a hostile co-tenant, on both service models.
+
+Reproduces the two Section 2 attacks — prime+probe secret extraction
+and cache-thrashing denial of service — against a victim on (a) a
+shared KVM host and (b) its own BM-Hive compute board, plus the
+firmware-tampering attempt that signed updates block.
+
+Run:
+    python examples/noisy_neighbor.py
+"""
+
+from repro import Simulator
+from repro.guest import EfiFirmware, FirmwareImage, SignatureError
+from repro.security import (
+    BM_HIVE_SURFACE,
+    KVM_SURFACE,
+    cache_thrash_attack,
+    prime_probe_attack,
+)
+
+
+def main():
+    sim = Simulator(seed=1337)
+    secret = [int(b) for b in "1011001110001011010011100101001101011000"]
+
+    print("== Attack 1: prime+probe on the victim's AES key schedule ==")
+    for label, co_resident in (("shared KVM host ", True), ("BM-Hive board    ", False)):
+        result = prime_probe_attack(sim, secret, co_resident=co_resident)
+        verdict = "SECRET LEAKED" if result.channel_works else "defeated"
+        print(f"  {label}: {result.recovered_bits}/{result.secret_bits} bits "
+              f"({result.accuracy * 100:.0f}%) -> {verdict}")
+
+    print("\n== Attack 2: LLC thrashing denial of service ==")
+    for label, co_resident in (("shared KVM host ", True), ("BM-Hive board    ", False)):
+        result = cache_thrash_attack(sim, co_resident=co_resident)
+        print(f"  {label}: victim hit rate "
+              f"{result.baseline_hit_rate * 100:3.0f}% -> "
+              f"{result.under_attack_hit_rate * 100:3.0f}%  "
+              f"(memory stalls x{result.slowdown_factor:.1f})")
+
+    print("\n== Attack 3: malicious firmware flash on a leased board ==")
+    firmware = EfiFirmware(sim)
+    implant = FirmwareImage.forged("9.9.9-implant", b"persistence payload")
+    try:
+        firmware.update(implant)
+    except SignatureError as error:
+        print(f"  rejected: {error}")
+    print(f"  board still runs vendor firmware {firmware.version}")
+
+    print("\n== Why: guest-reachable hypervisor surface ==")
+    print(f"  KVM/QEMU: {KVM_SURFACE.reachable_kloc:.0f} kloc reachable "
+          f"({len(KVM_SURFACE.reachable_components)} components, incl. "
+          f"instruction emulation)")
+    print(f"  BM-Hive:  {BM_HIVE_SURFACE.reachable_kloc:.0f} kloc reachable "
+          f"(virtio rings only, via IO-Bond)")
+
+
+if __name__ == "__main__":
+    main()

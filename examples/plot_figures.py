@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Render the paper's headline figures as terminal charts.
+
+Reproduces Fig 12 (NGINX), Fig 13/14 (MariaDB), Fig 15/16 (Redis) and
+the Fig 11 latency bars, then draws them with `repro.analysis`.
+
+Run:
+    python examples/plot_figures.py
+"""
+
+from repro import BmHiveServer, Simulator, VirtServer
+from repro.analysis import bar_chart, grouped_bar_chart, line_chart
+from repro.workloads import (
+    fio_run,
+    run_mariadb,
+    run_nginx_sweep,
+    run_redis_size_sweep,
+)
+from repro.workloads.nginx import DEFAULT_CLIENT_COUNTS
+from repro.workloads.redis import DEFAULT_VALUE_SIZES
+
+
+def main():
+    sim = Simulator(seed=3)
+    hive = BmHiveServer(sim)
+    kvm = VirtServer(sim, fabric=hive.fabric)
+    bm = hive.launch_guest()
+    vm = kvm.launch_guest()
+
+    # Fig 12: NGINX RPS vs concurrency.
+    bm_nginx = run_nginx_sweep(sim, bm)
+    vm_nginx = run_nginx_sweep(sim, vm)
+    print(grouped_bar_chart(
+        DEFAULT_CLIENT_COUNTS,
+        {"bm": [bm_nginx.rps(c) for c in DEFAULT_CLIENT_COUNTS],
+         "vm": [vm_nginx.rps(c) for c in DEFAULT_CLIENT_COUNTS]},
+        title="Fig 12 - NGINX requests/s vs ab concurrency",
+    ))
+    print()
+
+    # Fig 13/14: MariaDB QPS per mix.
+    bm_db = run_mariadb(sim, bm)
+    vm_db = run_mariadb(sim, vm)
+    mixes = ["read-only", "write-only", "read-write"]
+    print(grouped_bar_chart(
+        mixes,
+        {"bm": [bm_db.qps(m) for m in mixes], "vm": [vm_db.qps(m) for m in mixes]},
+        title="Fig 13/14 - MariaDB QPS (sysbench, 128 threads)",
+    ))
+    print()
+
+    # Fig 16: Redis RPS vs value size (y-axis floored at 80K, as in
+    # the paper: "Note that the y-axis ... starts with 80K").
+    bm_redis = run_redis_size_sweep(sim, bm)
+    vm_redis = run_redis_size_sweep(sim, vm)
+    print(line_chart(
+        DEFAULT_VALUE_SIZES,
+        {"bm": bm_redis.series(), "vm": vm_redis.series()},
+        title="Fig 16 - Redis requests/s vs value size (4B..4KB)",
+        y_floor=80e3,
+    ))
+    print()
+
+    # Fig 11: storage latency bars.
+    bm_fio = fio_run(sim, bm, ops_per_thread=200)
+    vm_fio = fio_run(sim, vm, ops_per_thread=200)
+    print(bar_chart(
+        ["bm mean", "vm mean", "bm p99.9", "vm p99.9"],
+        [bm_fio.mean_latency_us, vm_fio.mean_latency_us,
+         bm_fio.p999_latency_us, vm_fio.p999_latency_us],
+        title="Fig 11 - fio 4K randread latency (us)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: build a BM-Hive server, boot a bare-metal guest from a
+cloud image, and race it against an identically-configured vm-guest.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import BmHiveServer, Simulator, VirtServer
+from repro.guest import VmImage
+from repro.workloads import fio_run, run_nginx_sweep, udp_latency_test
+
+
+def main():
+    sim = Simulator(seed=42)
+
+    # One BM-Hive chassis and one KVM host on the same cloud fabric.
+    hive = BmHiveServer(sim)
+    kvm = VirtServer(sim, fabric=hive.fabric)
+
+    # A bm-guest gets its own compute board (Xeon E5-2682 v4, 64 GB)
+    # and boots a normal cloud image over virtio-blk through IO-Bond.
+    bm_guest = hive.launch_guest()
+    image = VmImage("centos7-cloud")
+    record = sim.run_process(hive.boot_guest(bm_guest, image))
+    print(f"bm-guest booted {record.image_name!r} "
+          f"(kernel {record.kernel_version}) in {record.boot_time_s * 1e3:.0f} ms "
+          f"through stages: {' -> '.join(record.stages)}")
+
+    # The baseline: same image, same CPU/memory, as a pinned VM.
+    vm_guest = kvm.launch_guest(image=image)
+    print(f"vm-guest {vm_guest.name} shares the image "
+          f"(digest match: {vm_guest.image.digest() == image.digest()})\n")
+
+    # Network latency: 64-byte UDP through the kernel stack.
+    bm_latency = udp_latency_test(sim, bm_guest)
+    vm_latency = udp_latency_test(sim, vm_guest)
+    print(f"UDP one-way latency:  bm {bm_latency.mean_us:6.1f} us   "
+          f"vm {vm_latency.mean_us:6.1f} us   (about the same - Fig 10)")
+
+    # Storage: 4 KB random reads against cloud storage (25K IOPS cap).
+    bm_fio = fio_run(sim, bm_guest, ops_per_thread=200)
+    vm_fio = fio_run(sim, vm_guest, ops_per_thread=200)
+    print(f"fio 4K randread:      bm {bm_fio.iops / 1e3:5.1f}K IOPS "
+          f"@ {bm_fio.mean_latency_us:5.0f} us   "
+          f"vm {vm_fio.iops / 1e3:5.1f}K IOPS @ {vm_fio.mean_latency_us:5.0f} us   "
+          f"(bm {vm_fio.mean_latency_us / bm_fio.mean_latency_us:.2f}x lower latency - Fig 11)")
+
+    # An application: NGINX under Apache bench, KeepAlive off.
+    bm_nginx = run_nginx_sweep(sim, bm_guest)
+    vm_nginx = run_nginx_sweep(sim, vm_guest)
+    gain = bm_nginx.rps(400) / vm_nginx.rps(400)
+    print(f"NGINX @400 clients:   bm {bm_nginx.rps(400) / 1e3:5.0f}K rps   "
+          f"vm {vm_nginx.rps(400) / 1e3:5.0f}K rps   "
+          f"(bm +{(gain - 1) * 100:.0f}% - Fig 12)")
+
+    print(f"\nServer density: {hive.density} bm-guest(s) on {hive.name}; "
+          f"chassis supports up to {hive.chassis.spec.max_slots} boards.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation.
+
+Prints the rows each experiment reports plus its shape checks
+(who wins, by roughly what factor, where the crossovers fall).
+
+Run:
+    python examples/reproduce_paper.py            # quick mode
+    python examples/reproduce_paper.py --full     # paper-scale populations
+    python examples/reproduce_paper.py fig11 fig9 # a subset
+"""
+
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def main(argv):
+    quick = "--full" not in argv
+    wanted = [a for a in argv if not a.startswith("-")]
+    runners = {
+        exp_id: runner
+        for exp_id, runner in ALL_EXPERIMENTS.items()
+        if not wanted or exp_id in wanted
+    }
+    if wanted and len(runners) != len(wanted):
+        unknown = set(wanted) - set(runners)
+        raise SystemExit(f"unknown experiments: {sorted(unknown)}; "
+                         f"available: {sorted(ALL_EXPERIMENTS)}")
+
+    passed = 0
+    start = time.time()
+    for exp_id, runner in runners.items():
+        result = runner(seed=0, quick=quick)
+        print(result.format_table())
+        if result.notes:
+            print(f"note: {result.notes}")
+        print()
+        passed += result.passed
+    print(f"{passed}/{len(runners)} experiments passed their shape checks "
+          f"({time.time() - start:.1f}s)")
+    return 0 if passed == len(runners) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Scenario: a high-frequency trading tenant (the paper's motivating
+demanding customer) comparing the three service options.
+
+The trading engine needs (1) the best single-thread performance,
+(2) predictable tail latency — no hypervisor preemption spikes — and
+(3) isolation from co-resident tenants. This example quantifies all
+three across a vm-guest, a bm-guest on the standard E5 board, and a
+bm-guest on the high-frequency Xeon E3-1240 v6 board (31% faster
+single-thread, available only as bare metal).
+
+Run:
+    python examples/trading_floor.py
+"""
+
+import numpy as np
+
+from repro import BmHiveServer, Simulator, VirtServer
+from repro.security import prime_probe_attack
+
+
+ORDER_BOOK_UPDATE_WORK = 4e-6  # reference-seconds per book update
+
+
+def tail_latency_profile(sim, guest, n_orders=20000):
+    """Per-order processing latency including preemption, if any."""
+    samples = []
+    for _ in range(n_orders):
+        base = guest.cpu_time(ORDER_BOOK_UPDATE_WORK, memory_intensity=0.3)
+        if hasattr(guest, "scheduler"):
+            base += guest.scheduler.preemption_during(base)
+        samples.append(base)
+    arr = np.asarray(samples)
+    return arr.mean() * 1e6, np.percentile(arr, 99.9) * 1e6, arr.max() * 1e6
+
+
+def main():
+    sim = Simulator(seed=2026)
+    hive = BmHiveServer(sim)
+    kvm = VirtServer(sim, fabric=hive.fabric)
+
+    candidates = [
+        ("vm-guest (E5-2682 v4, shared)", kvm.launch_guest(pinned=False)),
+        ("vm-guest (E5-2682 v4, pinned)", kvm.launch_guest(pinned=True)),
+        ("bm-guest (E5-2682 v4 board)", hive.launch_guest()),
+        ("bm-guest (E3-1240 v6 board)",
+         hive.launch_guest(cpu_model="Xeon E3-1240 v6", memory_gib=32)),
+    ]
+
+    print("Order-processing latency (4 us of book-update work per order):")
+    print(f"{'configuration':38s} {'mean':>9s} {'p99.9':>9s} {'worst':>10s}")
+    for name, guest in candidates:
+        mean_us, p999_us, worst_us = tail_latency_profile(sim, guest)
+        print(f"{name:38s} {mean_us:7.2f}us {p999_us:7.2f}us {worst_us:8.1f}us")
+
+    # Single-thread headroom: the whole reason desktop-class parts
+    # exist in the BM-Hive catalog (Section 1).
+    e5 = candidates[2][1]
+    e3 = candidates[3][1]
+    uplift = e5.cpu_time(1.0, 0.0) / e3.cpu_time(1.0, 0.0)
+    print(f"\nE3-1240 v6 single-thread uplift over the E5 board: "
+          f"+{(uplift - 1) * 100:.0f}% (paper: +31%)")
+
+    # Side-channel exposure: can a co-resident tenant watch the
+    # trading engine's cache activity?
+    secret = [int(b) for b in "1100101001101001" * 2]
+    on_vm = prime_probe_attack(sim, secret, co_resident=True)
+    on_bm = prime_probe_attack(sim, secret, co_resident=False)
+    print(f"\nPrime+probe attack on the order stream:")
+    print(f"  co-resident VM neighbor:   {on_vm.accuracy * 100:5.1f}% of bits recovered")
+    print(f"  separate compute board:    {on_bm.accuracy * 100:5.1f}% (chance level)")
+
+
+if __name__ == "__main__":
+    main()

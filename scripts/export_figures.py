@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Export every experiment's rows as CSV files under ``results/``.
+
+Useful for plotting the reproduced figures with external tools.
+
+Run from the repository root:
+    python scripts/export_figures.py [outdir]
+"""
+
+import csv
+import pathlib
+import sys
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def export(outdir: str = "results", seed: int = 0, quick: bool = True) -> int:
+    directory = pathlib.Path(outdir)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = 0
+    for exp_id, runner in ALL_EXPERIMENTS.items():
+        result = runner(seed=seed, quick=quick)
+        path = directory / f"{exp_id}.csv"
+        columns = list(result.rows[0].keys())
+        with path.open("w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=columns, extrasaction="ignore")
+            writer.writeheader()
+            for row in result.rows:
+                writer.writerow(row)
+        written += 1
+        print(f"wrote {path} ({len(result.rows)} rows)")
+    return written
+
+
+if __name__ == "__main__":
+    export(sys.argv[1] if len(sys.argv) > 1 else "results")

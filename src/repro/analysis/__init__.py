@@ -1,0 +1,5 @@
+"""Result analysis helpers: terminal chart rendering."""
+
+from repro.analysis.charts import bar_chart, grouped_bar_chart, line_chart
+
+__all__ = ["bar_chart", "grouped_bar_chart", "line_chart"]

@@ -1,0 +1,117 @@
+"""Terminal chart rendering for the reproduced figures.
+
+The paper's figures are bar and line charts; this module renders the
+same series as ASCII, so ``examples/plot_figures.py`` can display a
+recognizable Fig 12 or Fig 16 without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["bar_chart", "grouped_bar_chart", "line_chart"]
+
+BLOCK = "#"
+
+
+def _fmt_value(value: float) -> str:
+    magnitude = abs(value)
+    if magnitude >= 1e6:
+        return f"{value / 1e6:.2f}M"
+    if magnitude >= 1e3:
+        return f"{value / 1e3:.1f}K"
+    if magnitude >= 1:
+        return f"{value:.2f}"
+    return f"{value:.3g}"
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float], title: str = "",
+              width: int = 50) -> str:
+    """Horizontal bar chart, one bar per label."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    if not labels:
+        raise ValueError("nothing to plot")
+    peak = max(values)
+    if peak <= 0:
+        raise ValueError("values must contain something positive")
+    label_width = max(len(str(label)) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = BLOCK * max(1, round(value / peak * width))
+        lines.append(f"{str(label).rjust(label_width)} | {bar} {_fmt_value(value)}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(labels: Sequence[str], series: Dict[str, Sequence[float]],
+                      title: str = "", width: int = 44) -> str:
+    """Grouped bars: one group per label, one bar per series.
+
+    This is the Fig 12/13/15 shape: bm-guest vs vm-guest at each x.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    for name, values in series.items():
+        if len(values) != len(labels):
+            raise ValueError(f"series {name!r} length mismatch")
+    peak = max(max(values) for values in series.values())
+    if peak <= 0:
+        raise ValueError("values must contain something positive")
+    label_width = max(len(str(label)) for label in labels)
+    name_width = max(len(name) for name in series)
+    lines = [title] if title else []
+    for i, label in enumerate(labels):
+        for j, (name, values) in enumerate(series.items()):
+            value = values[i]
+            bar = BLOCK * max(1, round(value / peak * width))
+            prefix = str(label).rjust(label_width) if j == 0 else " " * label_width
+            lines.append(
+                f"{prefix}  {name.ljust(name_width)} | {bar} {_fmt_value(value)}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def line_chart(x_values: Sequence[float], series: Dict[str, Sequence[float]],
+               title: str = "", height: int = 12, width: int = 60,
+               y_floor: Optional[float] = None) -> str:
+    """Multi-series line chart on a character grid.
+
+    ``y_floor`` reproduces tricks like Fig 16's "y-axis starts with
+    80K" note.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    markers = "abcdefgh"
+    all_values = [v for values in series.values() for v in values]
+    low = y_floor if y_floor is not None else min(all_values)
+    high = max(all_values)
+    if high <= low:
+        high = low + 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(column: int, value: float, marker: str) -> None:
+        frac = (value - low) / (high - low)
+        row = height - 1 - round(frac * (height - 1))
+        row = min(height - 1, max(0, row))
+        grid[row][column] = marker
+
+    for index, (name, values) in enumerate(series.items()):
+        if len(values) != len(x_values):
+            raise ValueError(f"series {name!r} length mismatch")
+        marker = markers[index % len(markers)]
+        for i, value in enumerate(values):
+            column = round(i / max(1, len(values) - 1) * (width - 1))
+            place(column, value, marker)
+
+    lines = [title] if title else []
+    lines.append(f"{_fmt_value(high).rjust(8)} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 8 + " |" + "".join(row))
+    lines.append(f"{_fmt_value(low).rjust(8)} +" + "-" * width)
+    lines.append(" " * 10 + f"x: {_fmt_value(x_values[0])} .. {_fmt_value(x_values[-1])}")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)

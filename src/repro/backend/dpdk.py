@@ -1,0 +1,117 @@
+"""DPDK vSwitch model: the user-space, poll-mode network backend.
+
+"All the I/O requests are handled in the user space with vhost-user
+protocol interfacing to cloud infrastructure: the customized DPDK
+vSwitch and the SPDK cloud storage. We use poll mode driver (PMD) for
+both" (Section 3.4.2). PMD avoids interrupt latency and kernel copies;
+per-packet cost is tens of nanoseconds when processing bursts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.backend.limits import GuestLimiters
+from repro.backend.switching import ForwardingPlane
+
+__all__ = ["DpdkSpec", "DpdkVSwitch", "VSwitchPort"]
+
+PMD_BURST = 32  # standard rte_eth burst size
+
+
+@dataclass(frozen=True)
+class DpdkSpec:
+    """Per-packet costs of the poll-mode switch datapath."""
+
+    per_packet_s: float = 50e-9       # classification + header rewrite
+    per_burst_s: float = 250e-9       # burst fetch/flush amortized cost
+    poll_interval_s: float = 1e-6     # idle poll cadence of a PMD core
+    interrupt_mode_packet_s: float = 4e-6  # non-PMD (interrupt) cost, for ablation
+
+    def burst_time(self, n_packets: int, poll_mode: bool = True) -> float:
+        if n_packets <= 0:
+            raise ValueError(f"burst must be positive, got {n_packets}")
+        if poll_mode:
+            n_bursts = -(-n_packets // PMD_BURST)
+            return n_bursts * self.per_burst_s + n_packets * self.per_packet_s
+        return n_packets * self.interrupt_mode_packet_s
+
+
+class VSwitchPort:
+    """One guest's attachment to the vSwitch.
+
+    ``deliver`` is the downcall toward the guest (injecting Rx frames);
+    it is wired up by the hypervisor layer that owns the guest.
+    """
+
+    def __init__(self, name: str, limiters: GuestLimiters,
+                 deliver: Optional[Callable[[int, int], None]] = None):
+        self.name = name
+        self.limiters = limiters
+        self.deliver = deliver
+        self.tx_packets = 0
+        self.rx_packets = 0
+        self.tx_bytes = 0
+        self.rx_bytes = 0
+
+
+class DpdkVSwitch:
+    """The per-server software switch, running PMD on base/host cores."""
+
+    def __init__(self, sim, spec: DpdkSpec = DpdkSpec(), name: str = "vswitch",
+                 poll_mode: bool = True):
+        self.sim = sim
+        self.spec = spec
+        self.name = name
+        self.poll_mode = poll_mode
+        self.ports: Dict[str, VSwitchPort] = {}
+        self.forwarding = ForwardingPlane(sim)
+        self.forwarded_packets = 0
+        self.dropped_packets = 0
+
+    def add_port(self, name: str, limiters: GuestLimiters,
+                 deliver: Optional[Callable[[int, int], None]] = None,
+                 mac: Optional[str] = None) -> VSwitchPort:
+        if name in self.ports:
+            raise ValueError(f"port {name!r} already exists on {self.name}")
+        port = VSwitchPort(name, limiters, deliver)
+        self.ports[name] = port
+        if mac is not None:
+            self.forwarding.register_guest(mac, name)
+        return port
+
+    def port(self, name: str) -> VSwitchPort:
+        try:
+            return self.ports[name]
+        except KeyError:
+            known = ", ".join(sorted(self.ports))
+            raise KeyError(f"no vswitch port {name!r}; ports: {known}") from None
+
+    def remove_port(self, name: str) -> None:
+        """Detach a guest's port (instance destruction)."""
+        if name not in self.ports:
+            raise KeyError(f"no vswitch port {name!r}")
+        del self.ports[name]
+
+    def switch_burst(self, src_port: str, n_packets: int, nbytes: int,
+                     dst_port: Optional[str] = None):
+        """Process: switch a burst from ``src_port``.
+
+        Applies the source guest's PPS/bandwidth limiters, charges the
+        PMD processing time, and (for intra-server traffic) hands the
+        burst to the destination port. Returns the number delivered.
+        """
+        src = self.port(src_port)
+        yield from src.limiters.admit_packets(n_packets, nbytes)
+        yield self.sim.timeout(self.spec.burst_time(n_packets, self.poll_mode))
+        src.tx_packets += n_packets
+        src.tx_bytes += nbytes
+        self.forwarded_packets += n_packets
+        if dst_port is not None:
+            dst = self.port(dst_port)
+            dst.rx_packets += n_packets
+            dst.rx_bytes += nbytes
+            if dst.deliver is not None:
+                dst.deliver(n_packets, nbytes)
+        return n_packets

@@ -1,0 +1,88 @@
+"""The datacenter network fabric.
+
+Servers connect through a shared 100 Gb/s NIC each ("all the I/O
+requests are eventually forwarded to the cloud services through the
+server's shared (100Gbit/s) network interface", Section 3.4.3); the
+fabric between servers adds switching latency. The storage cluster is
+reachable over the same fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.sim.resources import Resource
+
+__all__ = ["FabricSpec", "Fabric", "Nic"]
+
+
+@dataclass(frozen=True)
+class FabricSpec:
+    """Latency/bandwidth profile of the cloud network."""
+
+    nic_gbps: float = 100.0
+    switch_latency_s: float = 4e-6       # ToR + spine traversal
+    propagation_s: float = 1e-6
+    storage_cluster_rtt_s: float = 30e-6  # one-way to the storage frontend
+
+
+class Nic:
+    """One server's shared physical NIC: a serializing 100 Gb/s port."""
+
+    def __init__(self, sim, gbps: float, name: str = "nic"):
+        self.sim = sim
+        self.gbps = gbps
+        self.name = name
+        self._port = Resource(sim, capacity=1)
+        self.bytes_sent = 0
+
+    def serialization_time(self, nbytes: int) -> float:
+        return nbytes * 8.0 / (self.gbps * 1e9)
+
+    def send(self, nbytes: int):
+        """Process: serialize ``nbytes`` onto the wire."""
+        req = self._port.request()
+        yield req
+        try:
+            yield self.sim.timeout(self.serialization_time(nbytes))
+        finally:
+            self._port.release()
+        self.bytes_sent += nbytes
+
+
+class Fabric:
+    """The shared fabric: registered server NICs plus wire latency."""
+
+    def __init__(self, sim, spec: FabricSpec = FabricSpec()):
+        self.sim = sim
+        self.spec = spec
+        self.nics: Dict[str, Nic] = {}
+
+    def attach(self, server_name: str) -> Nic:
+        if server_name in self.nics:
+            raise ValueError(f"server {server_name!r} already attached")
+        nic = Nic(self.sim, self.spec.nic_gbps, name=f"{server_name}.nic")
+        self.nics[server_name] = nic
+        return nic
+
+    def transmit(self, src: str, dst: str, nbytes: int):
+        """Process: move ``nbytes`` from server ``src`` to ``dst``."""
+        if src == dst:
+            # Intra-server traffic never leaves the vSwitch.
+            return
+        src_nic = self.nics[src]
+        yield from src_nic.send(nbytes)
+        yield self.sim.timeout(self.spec.switch_latency_s + self.spec.propagation_s)
+
+    def to_storage(self, src: str, nbytes: int):
+        """Process: one-way trip from ``src`` to the storage cluster."""
+        src_nic = self.nics[src]
+        yield from src_nic.send(nbytes)
+        yield self.sim.timeout(self.spec.storage_cluster_rtt_s)
+
+    def from_storage(self, dst: str, nbytes: int):
+        """Process: one-way trip from the storage cluster to ``dst``."""
+        yield self.sim.timeout(
+            self.spec.storage_cluster_rtt_s + nbytes * 8.0 / (self.spec.nic_gbps * 1e9)
+        )

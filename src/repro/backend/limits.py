@@ -1,0 +1,82 @@
+"""Per-guest I/O rate limits, as enforced in the paper's cloud.
+
+"The Xeon E5-2682 instance is limited to 4M packets per second (PPS)
+and 10Gbit/s in bandwidth for network access and 25K I/O per second
+(IOPS) for storage access" (Section 4.1); storage bandwidth is limited
+to 300 MB/s (Section 4.3). Benchmarks that "lift the limit" use
+:meth:`RateLimits.unrestricted`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.resources import TokenBucket
+
+__all__ = ["RateLimits", "GuestLimiters"]
+
+UNLIMITED = float("inf")
+
+
+@dataclass(frozen=True)
+class RateLimits:
+    """Static limit profile for one guest."""
+
+    pps: float = 4e6
+    net_gbps: float = 10.0
+    iops: float = 25e3
+    storage_mbps: float = 300.0
+
+    @classmethod
+    def standard(cls) -> "RateLimits":
+        """The deployed profile for the Xeon E5-2682 v4 instance."""
+        return cls()
+
+    @classmethod
+    def unrestricted(cls) -> "RateLimits":
+        """No caps — the paper's 'removing the limit' experiments."""
+        return cls(pps=UNLIMITED, net_gbps=UNLIMITED, iops=UNLIMITED,
+                   storage_mbps=UNLIMITED)
+
+    @property
+    def is_unrestricted(self) -> bool:
+        return self.pps == UNLIMITED
+
+
+class GuestLimiters:
+    """Live token buckets for one guest, built from a profile.
+
+    ``None`` buckets mean "no cap" (unrestricted profile).
+    """
+
+    def __init__(self, sim, limits: RateLimits):
+        self.limits = limits
+        self.pps: Optional[TokenBucket] = None
+        self.net_bytes: Optional[TokenBucket] = None
+        self.iops: Optional[TokenBucket] = None
+        self.storage_bytes: Optional[TokenBucket] = None
+        if limits.pps != UNLIMITED:
+            self.pps = TokenBucket(sim, rate=limits.pps, burst=limits.pps * 1e-3)
+        if limits.net_gbps != UNLIMITED:
+            rate = limits.net_gbps * 1e9 / 8.0
+            self.net_bytes = TokenBucket(sim, rate=rate, burst=rate * 1e-3)
+        if limits.iops != UNLIMITED:
+            self.iops = TokenBucket(sim, rate=limits.iops, burst=max(64.0, limits.iops * 4e-3))
+        if limits.storage_mbps != UNLIMITED:
+            rate = limits.storage_mbps * 1e6
+            self.storage_bytes = TokenBucket(sim, rate=rate, burst=rate * 4e-3)
+
+    def admit_packets(self, count: int, nbytes: int):
+        """Process: wait for PPS + bandwidth tokens for a packet batch."""
+        if self.pps is not None:
+            yield from self.pps.consume(count)
+        if self.net_bytes is not None:
+            yield from self.net_bytes.consume(nbytes)
+
+    def admit_io(self, count: int, nbytes: int):
+        """Process: wait for IOPS + storage-bandwidth tokens."""
+        if self.iops is not None:
+            yield from self.iops.consume(count)
+        if self.storage_bytes is not None:
+            yield from self.storage_bytes.consume(nbytes)

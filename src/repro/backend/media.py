@@ -1,0 +1,83 @@
+"""Storage media models: the cloud SSD pool and a local NVMe SSD.
+
+The cloud experiments access "SSD-backed cloud storage through the
+100Gbit/s network" (Section 4.3); the unrestricted experiment uses the
+server's local SSD, where BM-Hive reaches a 60 µs average latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.resources import Resource
+
+__all__ = ["SsdSpec", "Ssd", "CLOUD_SSD", "LOCAL_NVME"]
+
+
+@dataclass(frozen=True)
+class SsdSpec:
+    """Latency/throughput profile of one SSD class."""
+
+    name: str
+    read_latency_s: float
+    write_latency_s: float
+    latency_sigma: float          # lognormal-ish service variation
+    max_iops: float
+    max_bandwidth_mbps: float
+    parallel_channels: int = 8
+
+
+# The shared cloud SSD pool: moderately fast media, deep parallelism.
+CLOUD_SSD = SsdSpec(
+    name="cloud-ssd-pool",
+    read_latency_s=70e-6,
+    write_latency_s=25e-6,
+    latency_sigma=0.25,
+    max_iops=1e6,
+    max_bandwidth_mbps=8000.0,
+    parallel_channels=64,
+)
+
+# A local NVMe device on the server (unrestricted local test).
+LOCAL_NVME = SsdSpec(
+    name="local-nvme",
+    read_latency_s=45e-6,
+    write_latency_s=15e-6,
+    latency_sigma=0.15,
+    max_iops=600e3,
+    max_bandwidth_mbps=3200.0,
+    parallel_channels=32,
+)
+
+
+class Ssd:
+    """An SSD with per-channel service and lognormal latency variation."""
+
+    def __init__(self, sim, spec: SsdSpec = CLOUD_SSD):
+        self.sim = sim
+        self.spec = spec
+        self._channels = Resource(sim, capacity=spec.parallel_channels)
+        self._rng = sim.streams.get(f"ssd.{spec.name}")
+        self.completed = 0
+
+    def _service_time(self, nbytes: int, is_read: bool) -> float:
+        base = self.spec.read_latency_s if is_read else self.spec.write_latency_s
+        variation = float(self._rng.lognormal(mean=0.0, sigma=self.spec.latency_sigma))
+        # One operation streams at a quarter of the device's aggregate
+        # bandwidth (flash-plane interleave within a channel group).
+        transfer = nbytes / (self.spec.max_bandwidth_mbps * 1e6 / 4.0)
+        return base * variation + transfer
+
+    def io(self, nbytes: int, is_read: bool):
+        """Process: one media operation; returns its service latency."""
+        if nbytes < 0:
+            raise ValueError(f"negative I/O size: {nbytes}")
+        start = self.sim.now
+        req = self._channels.request()
+        yield req
+        try:
+            yield self.sim.timeout(self._service_time(nbytes, is_read))
+        finally:
+            self._channels.release()
+        self.completed += 1
+        return self.sim.now - start

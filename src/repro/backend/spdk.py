@@ -1,0 +1,73 @@
+"""SPDK storage backend: user-space, poll-mode block service.
+
+Handles block requests from guests, applies the cloud IOPS/bandwidth
+limits, and forwards them over the fabric to the SSD-backed storage
+cluster (Section 3.4.2 / 4.3). Completion returns through the same
+poll-mode path; there are no interrupts on the backend side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.backend.fabric import Fabric
+from repro.backend.limits import GuestLimiters
+from repro.backend.media import CLOUD_SSD, Ssd, SsdSpec
+
+__all__ = ["SpdkSpec", "SpdkStorage"]
+
+
+@dataclass(frozen=True)
+class SpdkSpec:
+    """Per-request costs of the SPDK datapath."""
+
+    submit_s: float = 3e-6        # NVMe-oF encapsulation + qpair submit
+    complete_s: float = 2e-6      # completion reap + vhost notify
+    poll_interval_s: float = 2e-6
+    # Cloud block storage replicates every write for durability; the
+    # frontend acknowledges once a quorum of replicas has the data.
+    # 1 = no replication (e.g. local scratch disks).
+    write_replicas: int = 1
+    replica_fanout_s: float = 8e-6  # per extra replica: fanout + quorum wait
+
+
+class SpdkStorage:
+    """One server's connection to the cloud storage service."""
+
+    def __init__(self, sim, fabric: Fabric, server_name: str,
+                 spec: SpdkSpec = SpdkSpec(), media: SsdSpec = CLOUD_SSD,
+                 remote: bool = True):
+        self.sim = sim
+        self.fabric = fabric
+        self.server_name = server_name
+        self.spec = spec
+        self.remote = remote
+        self.ssd = Ssd(sim, media)
+        self.completed = 0
+
+    def submit(self, limiters: GuestLimiters, nbytes: int, is_read: bool):
+        """Process: one guest block request end-to-end in the backend.
+
+        Admission through the guest's IOPS/bandwidth buckets, fabric
+        transit (for remote cloud storage), media service, and the
+        return trip. Returns the backend-side service latency.
+        """
+        start = self.sim.now
+        yield from limiters.admit_io(1, nbytes)
+        yield self.sim.timeout(self.spec.submit_s)
+        request_bytes = nbytes if not is_read else 128  # command only
+        response_bytes = nbytes if is_read else 128     # data or ack
+        if self.remote:
+            yield from self.fabric.to_storage(self.server_name, request_bytes)
+        yield from self.ssd.io(nbytes, is_read)
+        if not is_read and self.spec.write_replicas > 1:
+            # The storage frontend fans the write out and waits for a
+            # quorum; replica media writes overlap, so the visible cost
+            # is the fanout/ack coordination, not N serial writes.
+            extra = self.spec.write_replicas - 1
+            yield self.sim.timeout(extra * self.spec.replica_fanout_s)
+        if self.remote:
+            yield from self.fabric.from_storage(self.server_name, response_bytes)
+        yield self.sim.timeout(self.spec.complete_s)
+        self.completed += 1
+        return self.sim.now - start

@@ -1,0 +1,57 @@
+"""Slow-path network backend through Linux TAP devices.
+
+"We also implemented a few slow I/O paths to bypass cloud
+infrastructure for testing purposes, e.g., to send packets through the
+Linux Tap devices. These paths are not deployed in the real cloud due
+to their low performance" (Section 3.4.2). This module exists for the
+same reason: as the testing/ablation baseline demonstrating *why* the
+deployed path is PMD + vhost-user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TapSpec", "TapBackend"]
+
+
+@dataclass(frozen=True)
+class TapSpec:
+    """Kernel-path costs the TAP backend pays per packet."""
+
+    syscall_s: float = 1.2e-6        # read/write on the tap fd
+    kernel_copy_s_per_byte: float = 1 / 6e9  # user<->kernel copy
+    softirq_s: float = 2.0e-6        # bridge + netfilter traversal
+    wakeup_s: float = 3.0e-6         # no PMD: blocking reads need wakeups
+
+
+class TapBackend:
+    """Interrupt-driven kernel-path backend (testing only)."""
+
+    deployed_in_production = False
+
+    def __init__(self, sim, spec: TapSpec = TapSpec(), name: str = "tap"):
+        self.sim = sim
+        self.spec = spec
+        self.name = name
+        self.packets = 0
+
+    def packet_time(self, nbytes: int) -> float:
+        return (
+            self.spec.syscall_s
+            + nbytes * self.spec.kernel_copy_s_per_byte
+            + self.spec.softirq_s
+            + self.spec.wakeup_s
+        )
+
+    def forward(self, n_packets: int, nbytes_each: int):
+        """Process: push a burst through the kernel path (no batching)."""
+        if n_packets <= 0:
+            raise ValueError(f"burst must be positive, got {n_packets}")
+        yield self.sim.timeout(n_packets * self.packet_time(nbytes_each))
+        self.packets += n_packets
+        return n_packets
+
+    def max_pps(self, nbytes_each: int = 64) -> float:
+        """Upper bound on packets/s through this path."""
+        return 1.0 / self.packet_time(nbytes_each)

@@ -1,0 +1,133 @@
+"""vhost-user protocol model.
+
+The virtio backends live in user-space processes (DPDK vSwitch, SPDK);
+the hypervisor hands each device's rings to them over the vhost-user
+Unix-socket protocol (Section 3.4.2). We model the control-plane
+handshake structurally — the message sequence and the shared state it
+establishes — because cold migration and backend restarts depend on
+it; the data plane then bypasses the hypervisor entirely.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["VhostUserMessage", "VhostUserFrontend", "VhostUserBackend", "VhostRequest"]
+
+
+class VhostRequest(enum.Enum):
+    GET_FEATURES = 1
+    SET_FEATURES = 2
+    SET_OWNER = 3
+    SET_MEM_TABLE = 5
+    SET_VRING_NUM = 8
+    SET_VRING_ADDR = 9
+    SET_VRING_BASE = 10
+    GET_VRING_BASE = 11
+    SET_VRING_KICK = 12
+    SET_VRING_CALL = 13
+    SET_VRING_ENABLE = 18
+
+
+@dataclass
+class VhostUserMessage:
+    request: VhostRequest
+    payload: Dict = field(default_factory=dict)
+
+
+class VhostUserBackend:
+    """The backend half: records ring/memory state from the frontend."""
+
+    def __init__(self, features: int = 0xFFFF_FFFF):
+        self.supported_features = features
+        self.acked_features: Optional[int] = None
+        self.owner_set = False
+        self.mem_table: Optional[Dict] = None
+        self.rings: Dict[int, Dict] = {}
+        self.log: List[VhostUserMessage] = []
+
+    def handle(self, message: VhostUserMessage):
+        """Process one control message; returns a reply payload or None."""
+        self.log.append(message)
+        request, payload = message.request, message.payload
+        if request is VhostRequest.GET_FEATURES:
+            return {"features": self.supported_features}
+        if request is VhostRequest.SET_FEATURES:
+            unknown = payload["features"] & ~self.supported_features
+            if unknown:
+                raise ValueError(f"frontend acked unsupported features {unknown:#x}")
+            self.acked_features = payload["features"]
+            return None
+        if request is VhostRequest.SET_OWNER:
+            self.owner_set = True
+            return None
+        if request is VhostRequest.SET_MEM_TABLE:
+            self.mem_table = payload["regions"]
+            return None
+        ring_requests = {
+            VhostRequest.SET_VRING_NUM: "num",
+            VhostRequest.SET_VRING_ADDR: "addr",
+            VhostRequest.SET_VRING_BASE: "base",
+            VhostRequest.SET_VRING_KICK: "kick_fd",
+            VhostRequest.SET_VRING_CALL: "call_fd",
+            VhostRequest.SET_VRING_ENABLE: "enabled",
+        }
+        if request in ring_requests:
+            index = payload["index"]
+            ring = self.rings.setdefault(index, {})
+            ring[ring_requests[request]] = payload["value"]
+            return None
+        if request is VhostRequest.GET_VRING_BASE:
+            index = payload["index"]
+            ring = self.rings.get(index, {})
+            ring["enabled"] = False  # stops the ring, as in the real protocol
+            return {"base": ring.get("base", 0)}
+        raise ValueError(f"unhandled vhost-user request {request}")
+
+    def ring_ready(self, index: int) -> bool:
+        ring = self.rings.get(index, {})
+        needed = {"num", "addr", "base", "kick_fd", "call_fd"}
+        return needed <= set(ring) and bool(ring.get("enabled"))
+
+
+class VhostUserFrontend:
+    """The hypervisor half: drives the handshake for one device."""
+
+    def __init__(self, backend: VhostUserBackend, n_queues: int, queue_size: int = 256):
+        self.backend = backend
+        self.n_queues = n_queues
+        self.queue_size = queue_size
+        self.negotiated: Optional[int] = None
+
+    def _send(self, request: VhostRequest, **payload):
+        return self.backend.handle(VhostUserMessage(request, payload))
+
+    def connect(self, memory_regions: Optional[List[Dict]] = None) -> int:
+        """Run the full handshake; returns the negotiated features."""
+        reply = self._send(VhostRequest.GET_FEATURES)
+        features = reply["features"]
+        self._send(VhostRequest.SET_FEATURES, features=features)
+        self._send(VhostRequest.SET_OWNER)
+        self._send(
+            VhostRequest.SET_MEM_TABLE,
+            regions=memory_regions or [{"gpa": 0, "size": 1 << 30, "hva": 0}],
+        )
+        for index in range(self.n_queues):
+            self._send(VhostRequest.SET_VRING_NUM, index=index, value=self.queue_size)
+            self._send(VhostRequest.SET_VRING_ADDR, index=index, value={"desc": 0})
+            self._send(VhostRequest.SET_VRING_BASE, index=index, value=0)
+            self._send(VhostRequest.SET_VRING_KICK, index=index, value=100 + index)
+            self._send(VhostRequest.SET_VRING_CALL, index=index, value=200 + index)
+            self._send(VhostRequest.SET_VRING_ENABLE, index=index, value=True)
+        self.negotiated = features
+        return features
+
+    def disconnect(self) -> List[int]:
+        """Stop all rings; returns their bases (for migration hand-off)."""
+        bases = []
+        for index in range(self.n_queues):
+            reply = self._send(VhostRequest.GET_VRING_BASE, index=index)
+            bases.append(reply["base"])
+        return bases

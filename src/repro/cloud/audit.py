@@ -1,0 +1,100 @@
+"""Tamper-evident audit log for control-plane actions.
+
+A managed bare-metal cloud must be able to prove what it did to
+tenant hardware — every power cycle, firmware update, migration, and
+hypervisor upgrade. Entries form a hash chain: each record commits to
+its predecessor, so rewriting history invalidates every later entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["AuditEntry", "AuditLog", "TamperError"]
+
+GENESIS = "0" * 64
+
+
+class TamperError(Exception):
+    """The chain does not verify: some entry was altered."""
+
+
+@dataclass(frozen=True)
+class AuditEntry:
+    """One control-plane action."""
+
+    sequence: int
+    at_s: float
+    actor: str
+    action: str
+    subject: str
+    details: Dict
+    previous_digest: str
+
+    def digest(self) -> str:
+        payload = json.dumps(
+            {
+                "sequence": self.sequence,
+                "at_s": self.at_s,
+                "actor": self.actor,
+                "action": self.action,
+                "subject": self.subject,
+                "details": self.details,
+                "previous": self.previous_digest,
+            },
+            sort_keys=True,
+        ).encode()
+        return hashlib.sha256(payload).hexdigest()
+
+
+class AuditLog:
+    """An append-only, hash-chained action log."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self._entries: List[AuditEntry] = []
+
+    def record(self, actor: str, action: str, subject: str,
+               **details) -> AuditEntry:
+        previous = self._entries[-1].digest() if self._entries else GENESIS
+        entry = AuditEntry(
+            sequence=len(self._entries),
+            at_s=self.sim.now,
+            actor=actor,
+            action=action,
+            subject=subject,
+            details=details,
+            previous_digest=previous,
+        )
+        self._entries.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self, subject: Optional[str] = None,
+                action: Optional[str] = None) -> List[AuditEntry]:
+        return [
+            entry
+            for entry in self._entries
+            if (subject is None or entry.subject == subject)
+            and (action is None or entry.action == action)
+        ]
+
+    def verify(self) -> bool:
+        """Check the whole chain; raises :class:`TamperError` on a break."""
+        previous = GENESIS
+        for index, entry in enumerate(self._entries):
+            if entry.sequence != index:
+                raise TamperError(f"entry {index}: sequence mismatch")
+            if entry.previous_digest != previous:
+                raise TamperError(f"entry {index}: chain break")
+            previous = entry.digest()
+        return True
+
+    def head_digest(self) -> str:
+        """The digest that commits to the entire history."""
+        return self._entries[-1].digest() if self._entries else GENESIS

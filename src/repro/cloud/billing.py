@@ -1,0 +1,101 @@
+"""Usage metering and billing for the mixed fleet.
+
+Gives the Section 3.5 pricing claim an operational form: vm and bm
+instances of the same shape are metered identically, and "our sell
+price shows that bm-guest is 10% lower than vm-guest with same
+configuration".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.cloud.inventory import InstanceType, instance
+
+__all__ = ["PriceList", "UsageMeter", "Invoice", "BM_DISCOUNT"]
+
+BM_DISCOUNT = 0.10
+# Hourly price per hyperthread for the vm service, in price units.
+VM_HOURLY_PER_HT = 0.045
+
+
+@dataclass(frozen=True)
+class PriceList:
+    """Hourly prices derived from instance shape + service kind."""
+
+    vm_hourly_per_ht: float = VM_HOURLY_PER_HT
+    bm_discount: float = BM_DISCOUNT
+
+    def hourly_rate(self, itype: InstanceType) -> float:
+        base = itype.hyperthreads * self.vm_hourly_per_ht
+        if itype.kind == "bm":
+            return base * (1.0 - self.bm_discount)
+        return base
+
+
+@dataclass
+class UsageRecord:
+    instance_id: str
+    type_name: str
+    started_s: float
+    stopped_s: float = -1.0
+
+    def hours(self, now_s: float) -> float:
+        end = self.stopped_s if self.stopped_s >= 0 else now_s
+        return max(0.0, end - self.started_s) / 3600.0
+
+
+@dataclass
+class Invoice:
+    """One tenant's bill over a metering window."""
+
+    lines: List[Dict] = field(default_factory=list)
+
+    @property
+    def total(self) -> float:
+        return sum(line["amount"] for line in self.lines)
+
+
+class UsageMeter:
+    """Meters instance lifetimes against the simulator clock."""
+
+    def __init__(self, sim, prices: PriceList = PriceList()):
+        self.sim = sim
+        self.prices = prices
+        self._records: Dict[str, UsageRecord] = {}
+
+    def start(self, instance_id: str, type_name: str) -> None:
+        if instance_id in self._records:
+            raise ValueError(f"instance {instance_id!r} already metered")
+        instance(type_name)  # validates the type exists
+        self._records[instance_id] = UsageRecord(
+            instance_id=instance_id, type_name=type_name, started_s=self.sim.now
+        )
+
+    def stop(self, instance_id: str) -> None:
+        record = self._records.get(instance_id)
+        if record is None:
+            raise KeyError(f"unknown instance {instance_id!r}")
+        if record.stopped_s >= 0:
+            raise ValueError(f"instance {instance_id!r} already stopped")
+        record.stopped_s = self.sim.now
+
+    def invoice(self) -> Invoice:
+        """Bill everything metered so far (running instances to now)."""
+        invoice = Invoice()
+        for record in self._records.values():
+            itype = instance(record.type_name)
+            hours = record.hours(self.sim.now)
+            rate = self.prices.hourly_rate(itype)
+            invoice.lines.append(
+                {
+                    "instance_id": record.instance_id,
+                    "type": record.type_name,
+                    "kind": itype.kind,
+                    "hours": hours,
+                    "hourly_rate": rate,
+                    "amount": hours * rate,
+                }
+            )
+        return invoice

@@ -1,0 +1,119 @@
+"""Instance catalog — the reproduction of Table 3.
+
+The paper's Table 3 lists "bare-metal instances available in our
+cloud"; its last column is "the maximum number of the compute boards in
+a single BM-Hive server", which "depends on the server's power supply,
+internal space, and I/O performance". The body text names the parts:
+Xeon E5-2682 v4 (the evaluation instance), Xeon E3-1240 v6 (the
+high-frequency instance, +31% single-thread), experimental boards with
+Core i7 and Atom processors (Section 3.3), and a 96-HT single-board
+configuration (Section 3.5).
+
+The table cells themselves are not machine-readable in our source, so
+the catalog below reconstructs them from those in-text anchor points;
+board counts are validated against the chassis power/slot model in
+tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.backend.limits import RateLimits
+from repro.hw.cpu import cpu_spec
+
+__all__ = ["InstanceType", "BM_INSTANCES", "VM_INSTANCES", "instance", "table3_rows"]
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """One sellable configuration."""
+
+    name: str
+    cpu_model: str
+    memory_gib: int
+    limits: RateLimits
+    boards_per_server: int  # Table 3's last column (bm only; 0 for vm)
+    kind: str = "bm"
+
+    @property
+    def hyperthreads(self) -> int:
+        spec = cpu_spec(self.cpu_model)
+        sockets = 2 if self.name.endswith(".2s") else 1
+        return spec.hyperthreads(sockets)
+
+    @property
+    def single_thread_index(self) -> float:
+        return cpu_spec(self.cpu_model).single_thread_index
+
+
+_STD = RateLimits.standard()
+
+BM_INSTANCES: Dict[str, InstanceType] = {
+    # The evaluation instance (Section 4.1): E5-2682 v4, 4M PPS,
+    # 10 Gb/s, 25K IOPS. Eight boards fit one server (Section 3.5:
+    # "BM-Hive can service up to 8 bm-guests with each 32HT").
+    "ebm.e5.32ht": InstanceType(
+        name="ebm.e5.32ht", cpu_model="Xeon E5-2682 v4", memory_gib=64,
+        limits=_STD, boards_per_server=8,
+    ),
+    # The high single-thread instance (Sections 1, 4.2): E3-1240 v6.
+    "ebm.hfe3.8ht": InstanceType(
+        name="ebm.hfe3.8ht", cpu_model="Xeon E3-1240 v6", memory_gib=32,
+        limits=_STD, boards_per_server=16,
+    ),
+    # Experimental boards the paper says were produced (Section 3.3).
+    "ebm.i7.12ht": InstanceType(
+        name="ebm.i7.12ht", cpu_model="Core i7-8086K", memory_gib=32,
+        limits=_STD, boards_per_server=16,
+    ),
+    "ebm.atom.4ht": InstanceType(
+        name="ebm.atom.4ht", cpu_model="Atom C3558", memory_gib=16,
+        limits=_STD, boards_per_server=16,
+    ),
+    # The 96-HT single-board configuration of Section 3.5 (dual-socket
+    # Platinum 8160T board): one board per server.
+    "ebm.plat.96ht.2s": InstanceType(
+        name="ebm.plat.96ht.2s", cpu_model="Xeon Platinum 8160T", memory_gib=384,
+        limits=_STD, boards_per_server=1,
+    ),
+}
+
+VM_INSTANCES: Dict[str, InstanceType] = {
+    "ecs.e5.32ht": InstanceType(
+        name="ecs.e5.32ht", cpu_model="Xeon E5-2682 v4", memory_gib=64,
+        limits=_STD, boards_per_server=0, kind="vm",
+    ),
+}
+
+
+def instance(name: str) -> InstanceType:
+    """Look up an instance type across both catalogs."""
+    if name in BM_INSTANCES:
+        return BM_INSTANCES[name]
+    if name in VM_INSTANCES:
+        return VM_INSTANCES[name]
+    known = ", ".join(sorted(list(BM_INSTANCES) + list(VM_INSTANCES)))
+    raise KeyError(f"unknown instance {name!r}; catalog has: {known}")
+
+
+def table3_rows() -> List[Dict]:
+    """The rows of Table 3, as dictionaries ready for printing."""
+    rows = []
+    for itype in BM_INSTANCES.values():
+        spec = cpu_spec(itype.cpu_model)
+        rows.append(
+            {
+                "instance": itype.name,
+                "cpu": itype.cpu_model,
+                "base_clock_ghz": spec.base_clock_ghz,
+                "hyperthreads": itype.hyperthreads,
+                "memory_gib": itype.memory_gib,
+                "pps_limit": itype.limits.pps,
+                "net_gbps": itype.limits.net_gbps,
+                "iops_limit": itype.limits.iops,
+                "boards_per_server": itype.boards_per_server,
+            }
+        )
+    return rows

@@ -1,0 +1,97 @@
+"""Fleet maintenance: rolling live upgrades of bm-hypervisors.
+
+The Orthus-style live upgrade (Section 6) only matters operationally
+if it can be driven fleet-wide: upgrade every guest's bm-hypervisor
+process, a bounded number at a time, with every step audited and a
+stop-on-failure guard. This module is that orchestration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cloud.audit import AuditLog
+from repro.hypervisor.upgrade import live_upgrade
+
+__all__ = ["MaintenanceWindow", "MaintenanceReport"]
+
+
+@dataclass
+class MaintenanceReport:
+    """Outcome of one rolling-upgrade window."""
+
+    target_version: str
+    upgraded: List[str] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+    failed: List[str] = field(default_factory=list)
+    max_gap_s: float = 0.0
+
+    @property
+    def complete(self) -> bool:
+        return not self.failed and not self.skipped
+
+
+class MaintenanceWindow:
+    """Rolling live upgrade over one BM-Hive server's guests."""
+
+    def __init__(self, sim, server, target_version: str,
+                 max_concurrent: int = 2, audit: Optional[AuditLog] = None):
+        if max_concurrent < 1:
+            raise ValueError(f"max_concurrent must be >= 1, got {max_concurrent}")
+        self.sim = sim
+        self.server = server
+        self.target_version = target_version
+        self.max_concurrent = max_concurrent
+        self.audit = audit or AuditLog(sim)
+
+    def execute(self):
+        """Process: upgrade every guest's hypervisor; returns a report.
+
+        Guests whose hypervisor already runs the target version are
+        skipped; failures abort the window (no half-upgraded fleet
+        drift) and are audited.
+        """
+        report = MaintenanceReport(target_version=self.target_version)
+        self.audit.record("maintenance", "window_opened", self.server.name,
+                          target=self.target_version)
+        pending = list(self.server.guests)
+        while pending:
+            wave, pending = (pending[: self.max_concurrent],
+                             pending[self.max_concurrent:])
+            procs = []
+            for guest in wave:
+                current = getattr(guest.hypervisor, "version", "1.0")
+                if current == self.target_version:
+                    report.skipped.append(guest.name)
+                    self.audit.record("maintenance", "skip_current", guest.name)
+                    continue
+                procs.append((guest, self.sim.spawn(
+                    live_upgrade(self.sim, guest.hypervisor, self.target_version)
+                )))
+            for _, proc in procs:
+                if not proc.triggered:
+                    try:
+                        yield proc
+                    except Exception:
+                        pass  # judged per-proc below
+            for guest, proc in procs:
+                if not proc.ok:
+                    report.failed.append(guest.name)
+                    self.audit.record("maintenance", "upgrade_failed", guest.name)
+                    self.audit.record("maintenance", "window_aborted",
+                                      self.server.name)
+                    return report
+                new_hv, record = proc.value
+                guest.hypervisor = new_hv
+                self.server.hypervisors[guest.name] = new_hv
+                report.upgraded.append(guest.name)
+                report.max_gap_s = max(report.max_gap_s, record.service_gap_s)
+                self.audit.record(
+                    "maintenance", "upgraded", guest.name,
+                    gap_ms=round(record.service_gap_s * 1e3, 3),
+                    version=self.target_version,
+                )
+        self.audit.record("maintenance", "window_closed", self.server.name,
+                          upgraded=len(report.upgraded))
+        return report

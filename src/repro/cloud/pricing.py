@@ -1,0 +1,96 @@
+"""Density and cost-efficiency model (Section 3.5).
+
+"The profitability in datacenter mainly rel[ies] on how many vCPU
+cores [are] available to be sold with same rack space... A typical
+vm-based server nowadays chooses two 24cores(48HT) E5 CPUs with 8HT
+reserved for hypervisor and its host kernel, thus remains only 88HT for
+users. While with the same rack space, BM-Hive can service up to 8
+bm-guests with each 32HT, total 256HT for sell... Our sell price shows
+that bm-guest is 10% lower than vm-guest with same configuration."
+
+Hardware prices are expressed in relative *cost units* (1.0 == one
+high-core-count E5 socket); what matters — and what tests assert — are
+the ratios, not the currency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ServerBom", "VM_SERVER", "BMHIVE_SERVER", "DensityComparison", "compare_density"]
+
+
+@dataclass(frozen=True)
+class ServerBom:
+    """Bill of materials + sellable capacity for one rack unit."""
+
+    name: str
+    sellable_hyperthreads: int
+    reserved_hyperthreads: int
+    cpu_cost_units: float       # all processor sockets
+    platform_cost_units: float  # board, memory share, NIC, chassis share
+    fpga_cost_units: float = 0.0
+
+    @property
+    def total_hyperthreads(self) -> int:
+        return self.sellable_hyperthreads + self.reserved_hyperthreads
+
+    @property
+    def total_cost_units(self) -> float:
+        return self.cpu_cost_units + self.platform_cost_units + self.fpga_cost_units
+
+    @property
+    def cost_per_sellable_ht(self) -> float:
+        return self.total_cost_units / self.sellable_hyperthreads
+
+
+# The vm-based server: two 24c/48HT E5-class sockets, 8 HT reserved for
+# the hypervisor + host kernel -> 88 sellable HT.
+VM_SERVER = ServerBom(
+    name="vm-server (2x24c E5)",
+    sellable_hyperthreads=88,
+    reserved_hyperthreads=8,
+    # High-core-count Xeons carry a superlinear premium: a 22-24 core
+    # E5 v4 listed ~2.7x the price of the 16-core E5-2682 v4 class
+    # part used on the compute boards.
+    cpu_cost_units=2 * 2.7,
+    platform_cost_units=1.5,
+)
+
+# The BM-Hive rack equivalent: 8 boards x 32HT (E5-2682 v4 class) plus
+# a much cheaper 16HT base CPU and one low-cost FPGA per board.
+BMHIVE_SERVER = ServerBom(
+    name="BM-Hive (8x32HT boards + base)",
+    sellable_hyperthreads=8 * 32,
+    reserved_hyperthreads=16,    # the base CPU, never sold
+    cpu_cost_units=8 * 1.0 + 0.35,  # 8 board sockets + cheap base part
+    platform_cost_units=8 * 0.35 + 1.0,  # per-board memory/PCB + chassis
+    fpga_cost_units=8 * 0.12,    # Intel Arria low-cost FPGA per board
+)
+
+
+@dataclass(frozen=True)
+class DensityComparison:
+    """Output of the Section 3.5 comparison."""
+
+    vm_sellable_ht: int
+    bm_sellable_ht: int
+    density_gain: float
+    vm_cost_per_ht: float
+    bm_cost_per_ht: float
+    cost_per_ht_ratio: float      # bm / vm, < 1 means bm cheaper
+    bm_price_discount: float      # the observed sell-price delta
+
+
+def compare_density(vm: ServerBom = VM_SERVER, bm: ServerBom = BMHIVE_SERVER,
+                    price_discount: float = 0.10) -> DensityComparison:
+    """Reproduce the density / per-vCPU cost argument of Section 3.5."""
+    return DensityComparison(
+        vm_sellable_ht=vm.sellable_hyperthreads,
+        bm_sellable_ht=bm.sellable_hyperthreads,
+        density_gain=bm.sellable_hyperthreads / vm.sellable_hyperthreads,
+        vm_cost_per_ht=vm.cost_per_sellable_ht,
+        bm_cost_per_ht=bm.cost_per_sellable_ht,
+        cost_per_ht_ratio=bm.cost_per_sellable_ht / vm.cost_per_sellable_ht,
+        bm_price_discount=price_discount,
+    )

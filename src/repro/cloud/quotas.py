@@ -1,0 +1,88 @@
+"""Per-tenant quotas on the bare-metal service.
+
+Density makes quotas necessary: with 16 tenants per server, one tenant
+must not be able to drain the board pool. Quotas cap concurrent
+instances and total hyperthreads per tenant; the controller consults
+them before scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.cloud.inventory import InstanceType
+
+__all__ = ["Quota", "QuotaExceeded", "QuotaLedger"]
+
+
+class QuotaExceeded(Exception):
+    """A request would push the tenant past its quota."""
+
+
+@dataclass(frozen=True)
+class Quota:
+    """Limits for one tenant."""
+
+    max_instances: int = 20
+    max_hyperthreads: int = 512
+
+
+@dataclass
+class _Usage:
+    instances: int = 0
+    hyperthreads: int = 0
+    holdings: Dict[str, int] = field(default_factory=dict)  # instance -> HT
+
+
+class QuotaLedger:
+    """Tracks tenant usage against quotas."""
+
+    def __init__(self, default_quota: Quota = Quota()):
+        self.default_quota = default_quota
+        self._quotas: Dict[str, Quota] = {}
+        self._usage: Dict[str, _Usage] = {}
+
+    def set_quota(self, tenant: str, quota: Quota) -> None:
+        self._quotas[tenant] = quota
+
+    def quota_for(self, tenant: str) -> Quota:
+        return self._quotas.get(tenant, self.default_quota)
+
+    def usage_for(self, tenant: str) -> _Usage:
+        return self._usage.setdefault(tenant, _Usage())
+
+    def charge(self, tenant: str, instance_id: str, itype: InstanceType) -> None:
+        """Reserve quota for one instance; raises :class:`QuotaExceeded`."""
+        quota = self.quota_for(tenant)
+        usage = self.usage_for(tenant)
+        if instance_id in usage.holdings:
+            raise ValueError(f"instance {instance_id!r} already charged")
+        if usage.instances + 1 > quota.max_instances:
+            raise QuotaExceeded(
+                f"{tenant}: instance quota {quota.max_instances} reached"
+            )
+        if usage.hyperthreads + itype.hyperthreads > quota.max_hyperthreads:
+            raise QuotaExceeded(
+                f"{tenant}: HT quota {quota.max_hyperthreads} would be exceeded "
+                f"({usage.hyperthreads} + {itype.hyperthreads})"
+            )
+        usage.instances += 1
+        usage.hyperthreads += itype.hyperthreads
+        usage.holdings[instance_id] = itype.hyperthreads
+
+    def release(self, tenant: str, instance_id: str) -> None:
+        usage = self.usage_for(tenant)
+        hyperthreads = usage.holdings.pop(instance_id, None)
+        if hyperthreads is None:
+            raise KeyError(f"{tenant} holds no instance {instance_id!r}")
+        usage.instances -= 1
+        usage.hyperthreads -= hyperthreads
+
+    def headroom(self, tenant: str) -> Dict[str, int]:
+        quota = self.quota_for(tenant)
+        usage = self.usage_for(tenant)
+        return {
+            "instances": quota.max_instances - usage.instances,
+            "hyperthreads": quota.max_hyperthreads - usage.hyperthreads,
+        }

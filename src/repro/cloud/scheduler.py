@@ -1,0 +1,135 @@
+"""Placement scheduler for the mixed vm/bm fleet.
+
+The cloud control plane "selects an available bare-metal server and
+picks an idle compute board and powers it on" (Section 3.2). This
+module is that selection logic: capacity records per server, first-fit
+placement for bm boards and HT bin-packing for VMs, plus utilization
+accounting the density experiment uses.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cloud.inventory import InstanceType
+
+__all__ = ["ServerCapacity", "Placement", "Scheduler", "CapacityError"]
+
+
+class CapacityError(Exception):
+    """Raised when no server can host the requested instance."""
+
+
+@dataclass
+class ServerCapacity:
+    """Capacity record for one physical server in the pool."""
+
+    name: str
+    kind: str                      # "bmhive" or "kvm"
+    board_slots: int = 0           # bm servers: free compute-board slots
+    sellable_hyperthreads: int = 0  # kvm servers: schedulable HT
+    used_boards: int = 0
+    used_hyperthreads: int = 0
+
+    def can_host(self, itype: InstanceType) -> bool:
+        if itype.kind == "bm":
+            return self.kind == "bmhive" and self.used_boards < self.board_slots
+        return (
+            self.kind == "kvm"
+            and self.used_hyperthreads + itype.hyperthreads <= self.sellable_hyperthreads
+        )
+
+    def utilization(self) -> float:
+        if self.kind == "bmhive":
+            return self.used_boards / self.board_slots if self.board_slots else 0.0
+        if not self.sellable_hyperthreads:
+            return 0.0
+        return self.used_hyperthreads / self.sellable_hyperthreads
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A successful scheduling decision."""
+
+    instance_id: str
+    server: str
+    instance_type: str
+
+
+class Scheduler:
+    """First-fit scheduler over a heterogeneous server pool."""
+
+    def __init__(self):
+        self.servers: Dict[str, ServerCapacity] = {}
+        self.placements: Dict[str, Placement] = {}
+        self._types: Dict[str, InstanceType] = {}
+        self._ids = itertools.count(1)
+
+    # -- pool management -----------------------------------------------------
+    def add_bmhive_server(self, name: str, board_slots: int) -> ServerCapacity:
+        return self._add(ServerCapacity(name=name, kind="bmhive", board_slots=board_slots))
+
+    def add_kvm_server(self, name: str, sellable_hyperthreads: int = 88) -> ServerCapacity:
+        return self._add(
+            ServerCapacity(
+                name=name, kind="kvm", sellable_hyperthreads=sellable_hyperthreads
+            )
+        )
+
+    def _add(self, server: ServerCapacity) -> ServerCapacity:
+        if server.name in self.servers:
+            raise ValueError(f"server {server.name!r} already registered")
+        self.servers[server.name] = server
+        return server
+
+    # -- scheduling --------------------------------------------------------------
+    def place(self, itype: InstanceType) -> Placement:
+        """Place one instance; first fit in registration order."""
+        for server in self.servers.values():
+            if server.can_host(itype):
+                if itype.kind == "bm":
+                    server.used_boards += 1
+                else:
+                    server.used_hyperthreads += itype.hyperthreads
+                placement = Placement(
+                    instance_id=f"i-{next(self._ids):06d}",
+                    server=server.name,
+                    instance_type=itype.name,
+                )
+                self.placements[placement.instance_id] = placement
+                self._types[placement.instance_id] = itype
+                return placement
+        raise CapacityError(f"no capacity for {itype.name} ({itype.kind})")
+
+    def release(self, instance_id: str) -> None:
+        """Return an instance's capacity to the pool."""
+        placement = self.placements.pop(instance_id, None)
+        if placement is None:
+            raise KeyError(f"unknown instance {instance_id!r}")
+        itype = self._types.pop(instance_id)
+        server = self.servers[placement.server]
+        if itype.kind == "bm":
+            server.used_boards -= 1
+        else:
+            server.used_hyperthreads -= itype.hyperthreads
+
+    # -- reporting -----------------------------------------------------------------
+    def pool_utilization(self, kind: Optional[str] = None) -> float:
+        servers = [
+            s for s in self.servers.values() if kind is None or s.kind == kind
+        ]
+        if not servers:
+            return 0.0
+        return sum(s.utilization() for s in servers) / len(servers)
+
+    def total_sellable_hyperthreads(self, board_hyperthreads: int = 32) -> Dict[str, int]:
+        """Sellable HT per server kind (density comparison input)."""
+        totals = {"bmhive": 0, "kvm": 0}
+        for server in self.servers.values():
+            if server.kind == "bmhive":
+                totals["bmhive"] += server.board_slots * board_hyperthreads
+            else:
+                totals["kvm"] += server.sellable_hyperthreads
+        return totals

@@ -1,0 +1,38 @@
+"""BM-Hive core: guests, datapaths, servers, and cold migration."""
+
+from repro.core.guests import BmGuest, Guest, PhysicalMachine, VmGuest
+from repro.core.live_conversion import (
+    ConversionError,
+    LiveConversionLayer,
+    LiveMigrationRecord,
+    live_migrate_bm_guest,
+)
+from repro.core.migration import MigrationRecord, cold_migrate_to_bm, cold_migrate_to_vm
+from repro.core.paths import BmBlkPath, BmNetPath, VmBlkPath, VmNetPath
+from repro.core.server import BmHiveServer, VirtServer
+from repro.core.tenant_hypervisor import TenantGuest, TenantHypervisor
+from repro.core.vm_datapath import VmBlkService, vm_boot_via_rings
+
+__all__ = [
+    "Guest",
+    "PhysicalMachine",
+    "BmGuest",
+    "VmGuest",
+    "BmHiveServer",
+    "VirtServer",
+    "BmNetPath",
+    "VmNetPath",
+    "BmBlkPath",
+    "VmBlkPath",
+    "MigrationRecord",
+    "cold_migrate_to_vm",
+    "cold_migrate_to_bm",
+    "live_migrate_bm_guest",
+    "LiveMigrationRecord",
+    "LiveConversionLayer",
+    "ConversionError",
+    "VmBlkService",
+    "vm_boot_via_rings",
+    "TenantHypervisor",
+    "TenantGuest",
+]

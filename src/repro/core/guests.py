@@ -1,0 +1,176 @@
+"""Guest abstractions: physical machine, bm-guest, vm-guest.
+
+A :class:`Guest` is what workloads run against. It answers three
+questions, each grounded in a different part of the substrate:
+
+* How long does a unit of CPU work take? (CPU catalog + NUMA +
+  virtualization model)
+* How fast is memory? (memory subsystem + EPT bandwidth tax)
+* How do packets and blocks move? (the datapaths of
+  :mod:`repro.core.paths`)
+
+The evaluation compares guests with the *same* CPU/memory
+configuration (Xeon E5-2682 v4, 64 GB), so the differences below are
+purely mechanistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.guest.kernel import GuestKernel
+from repro.hw.cpu import CpuSpec, cpu_spec
+from repro.hw.memory import MemorySpec, MemorySubsystem
+from repro.hw.numa import dual_socket, single_socket
+from repro.hypervisor.kvm import HostScheduler, KvmModel
+
+__all__ = ["Guest", "PhysicalMachine", "BmGuest", "VmGuest"]
+
+
+class Guest:
+    """Base class: common CPU/memory accounting."""
+
+    kind = "abstract"
+
+    def __init__(self, sim, cpu_model: str, memory_gib: int, name: str,
+                 sockets: int = 1):
+        self.sim = sim
+        self.name = name
+        self.cpu_spec: CpuSpec = cpu_spec(cpu_model)
+        self.sockets = sockets
+        self.memory = MemorySubsystem(
+            sim,
+            MemorySpec(
+                capacity_gib=memory_gib,
+                channels=self.cpu_spec.memory_channels * sockets,
+                speed_mts=self.cpu_spec.memory_speed_mts,
+            ),
+        )
+        self.kernel = GuestKernel(self.cpu_spec)
+        self.net_path = None
+        self.blk_path = None
+
+    # -- CPU ---------------------------------------------------------------
+    @property
+    def hyperthreads(self) -> int:
+        return self.cpu_spec.hyperthreads(self.sockets)
+
+    def cpu_time(self, reference_seconds: float, memory_intensity: float = 0.0,
+                 exits_per_second: float = 0.0) -> float:
+        """Wall time for single-thread work of ``reference_seconds``.
+
+        ``memory_intensity`` in [0, 1] describes how memory-bound the
+        code is; subclasses apply their NUMA / virtualization factors.
+        """
+        if reference_seconds < 0:
+            raise ValueError(f"negative work: {reference_seconds}")
+        if not 0.0 <= memory_intensity <= 1.0:
+            raise ValueError(f"memory_intensity out of [0,1]: {memory_intensity}")
+        base = reference_seconds / self.cpu_spec.single_thread_index
+        return base * self._slowdown(memory_intensity, exits_per_second)
+
+    def _slowdown(self, memory_intensity: float, exits_per_second: float) -> float:
+        raise NotImplementedError
+
+    def io_operation_overhead(self, exits_per_op: float) -> float:
+        """Extra seconds one I/O-ish operation costs this guest kind.
+
+        On physical machines and bm-guests there is no hypervisor to
+        exit into, so the overhead is zero by construction.
+        """
+        return 0.0
+
+    # -- memory -----------------------------------------------------------------
+    def memory_bandwidth(self, kernel: str = "triad", threads: int = 16) -> float:
+        """Achievable STREAM bandwidth in bytes/s."""
+        return self.memory.stream_bandwidth(kernel, threads)
+
+
+class PhysicalMachine(Guest):
+    """A dual-socket bare server, the Fig 7/8 reference system."""
+
+    kind = "physical"
+
+    def __init__(self, sim, cpu_model: str = "Xeon E5-2682 v4",
+                 memory_gib: int = 384, name: str = "physical"):
+        super().__init__(sim, cpu_model, memory_gib, name, sockets=2)
+        self.topology = dual_socket(
+            cores_per_socket=self.cpu_spec.cores,
+            memory_gib_per_socket=memory_gib // 2,
+        )
+
+    def _slowdown(self, memory_intensity: float, exits_per_second: float) -> float:
+        # Cross-socket traffic on memory-bound code: the board (single
+        # socket, repro.hw.numa.single_socket) never pays this, which
+        # is where Fig 7's bm-vs-physical gap comes from.
+        return 1.0 + self.topology.memory_tax(memory_intensity)
+
+    def memory_bandwidth(self, kernel: str = "triad", threads: int = 16) -> float:
+        # The benchmark threads run within one socket (as in the paper's
+        # 16-thread STREAM run); only local channels count.
+        local = MemorySubsystem(
+            self.sim,
+            MemorySpec(
+                capacity_gib=self.memory.spec.capacity_gib // 2,
+                channels=self.cpu_spec.memory_channels,
+                speed_mts=self.cpu_spec.memory_speed_mts,
+            ),
+        )
+        return local.stream_bandwidth(kernel, threads)
+
+
+class BmGuest(Guest):
+    """A bare-metal guest on its own compute board.
+
+    CPU and memory are native; there is no hypervisor beneath it, so
+    ``exits_per_second`` is ignored by construction.
+    """
+
+    kind = "bm"
+
+    def __init__(self, sim, cpu_model: str = "Xeon E5-2682 v4",
+                 memory_gib: int = 64, name: str = "bm-guest",
+                 board=None, bond=None, hypervisor=None):
+        super().__init__(sim, cpu_model, memory_gib, name, sockets=1)
+        self.topology = single_socket(self.cpu_spec.cores, memory_gib)
+        self.board = board
+        self.bond = bond
+        self.hypervisor = hypervisor
+
+    def _slowdown(self, memory_intensity: float, exits_per_second: float) -> float:
+        return 1.0  # native execution — the whole point of the design
+
+
+class VmGuest(Guest):
+    """A KVM guest on a virtualization server (the baseline)."""
+
+    kind = "vm"
+
+    def __init__(self, sim, cpu_model: str = "Xeon E5-2682 v4",
+                 memory_gib: int = 64, name: str = "vm-guest",
+                 kvm: Optional[KvmModel] = None,
+                 scheduler: Optional[HostScheduler] = None,
+                 pinned: bool = True, nested: bool = False):
+        super().__init__(sim, cpu_model, memory_gib, name, sockets=1)
+        self.kvm = kvm or KvmModel()
+        self.scheduler = scheduler or HostScheduler(sim, pinned=pinned,
+                                                    stream=f"host.{name}")
+        self.pinned = pinned
+        self.nested = nested
+
+    def _slowdown(self, memory_intensity: float, exits_per_second: float) -> float:
+        factor = self.kvm.compute_slowdown(memory_intensity, exits_per_second)
+        if not self.pinned:
+            factor *= 1.0 + self.scheduler.expected_preemption_fraction()
+        if self.nested:
+            efficiency = self.kvm.nested_efficiency(io_intensive=False)
+            factor /= efficiency
+        return factor
+
+    def memory_bandwidth(self, kernel: str = "triad", threads: int = 16) -> float:
+        native = super().memory_bandwidth(kernel, threads)
+        return native * self.kvm.memory_bandwidth_factor(under_load=True)
+
+    def io_operation_overhead(self, exits_per_op: float) -> float:
+        return self.kvm.io_overhead_per_operation(exits_per_op)

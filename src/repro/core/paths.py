@@ -1,0 +1,418 @@
+"""End-to-end I/O datapaths for bm-guests and vm-guests.
+
+This module composes the substrate models into the two network paths
+and two storage paths the evaluation compares:
+
+* **vm path** — guest kernel -> shared-memory vring -> PMD backend
+  (DPDK/SPDK). Tx needs no kick (the backend polls); Rx costs a
+  virtual-interrupt injection; the backend's CPU performs the data
+  copies and its threads suffer host preemption.
+* **bm path** — guest kernel -> guest vring -> IO-Bond (PCIe hop,
+  descriptor fetch, DMA into the shadow vring) -> polled by the
+  bm-hypervisor -> same PMD backend. Rx returns through IO-Bond's DMA
+  and a *hardware* MSI. The path is longer ("traversing three PCIe
+  buses", Section 4.3) but involves no hypervisor on the guest's CPU
+  and no CPU copies.
+
+Each path exposes:
+
+* per-packet/per-IO **cost accessors** (floats) used by throughput
+  models, where per-event DES would be too slow at millions of ops/s;
+* **latency sample** methods that add the stochastic components
+  (backend poll phase, DMA contention, host preemption);
+* DES **processes** for closed-loop experiments that need real
+  queueing (storage under IOPS caps, PPS under rate limiters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.backend.dpdk import PMD_BURST, DpdkVSwitch
+from repro.backend.limits import GuestLimiters
+from repro.backend.spdk import SpdkStorage
+from repro.guest.kernel import GuestKernel
+from repro.hypervisor.bm import BmHypervisorSpec
+from repro.hypervisor.kvm import HostScheduler, KvmModel
+from repro.iobond.bond import IoBond, IoBondPort
+
+__all__ = ["BmNetPath", "VmNetPath", "BmBlkPath", "VmBlkPath", "VIRTIO_NET_OVERHEAD"]
+
+VIRTIO_NET_OVERHEAD = 12  # virtio_net_hdr_mrg_rxbuf on every frame
+DESCRIPTOR_SYNC_BYTES = 32  # descriptor + indirect-table metadata per chain
+# One PMD scheduling quantum: a kernel-bypass ping-pong still waits for
+# the polling cores (guest PMD + backend PMD) to come around; both
+# guest kinds pay it on each direction of a latency probe.
+PMD_ROUND_S = 5e-6
+
+
+# ---------------------------------------------------------------------------
+# Network
+# ---------------------------------------------------------------------------
+class _NetPathBase:
+    """Shared plumbing for the two network paths."""
+
+    def __init__(self, sim, kernel: GuestKernel, vswitch: DpdkVSwitch,
+                 limiters: GuestLimiters, port_name: str):
+        self.sim = sim
+        self.kernel = kernel
+        self.vswitch = vswitch
+        self.limiters = limiters
+        self.port_name = port_name
+        self.packets_sent = 0
+
+    def _vswitch_time(self, n_packets: int) -> float:
+        return self.vswitch.spec.burst_time(n_packets, self.vswitch.poll_mode)
+
+    def send_burst(self, n_packets: int, nbytes_each: int,
+                   dst_port: Optional[str] = None, bypass: bool = False):
+        """Process: push a Tx burst through the full path with limits."""
+        wire_bytes = n_packets * (nbytes_each + VIRTIO_NET_OVERHEAD)
+        yield self.sim.timeout(self.tx_time(n_packets, nbytes_each, bypass))
+        yield from self.vswitch.switch_burst(
+            self.port_name, n_packets, wire_bytes, dst_port=dst_port
+        )
+        self.packets_sent += n_packets
+
+
+class BmNetPath(_NetPathBase):
+    """Network datapath of a bm-guest, through IO-Bond."""
+
+    def __init__(self, sim, kernel: GuestKernel, vswitch: DpdkVSwitch,
+                 limiters: GuestLimiters, port_name: str,
+                 bond: IoBond, port: IoBondPort,
+                 hv_spec: BmHypervisorSpec = BmHypervisorSpec()):
+        super().__init__(sim, kernel, vswitch, limiters, port_name)
+        self.bond = bond
+        self.port = port
+        self.hv_spec = hv_spec
+        self._jitter = sim.streams.get(f"bmnet.{port_name}.jitter")
+
+    # -- deterministic component times -------------------------------------
+    def _iobond_tx_time(self, n_packets: int, nbytes_each: int) -> float:
+        """IO-Bond's share of a Tx burst: descriptor fetch + DMA sync."""
+        spec = self.bond.spec
+        desc_fetch = self.port.board_link.serialization_time(
+            DESCRIPTOR_SYNC_BYTES * n_packets
+        ) + self.port.board_link.spec.tlp_latency_s
+        payload = n_packets * (nbytes_each + VIRTIO_NET_OVERHEAD)
+        dma = self.bond.dma.copy_time(payload)
+        return desc_fetch + dma
+
+    def _iobond_rx_time(self, n_packets: int, nbytes_each: int) -> float:
+        """IO-Bond's share of an Rx burst: DMA + board-link writeback."""
+        payload = n_packets * (nbytes_each + VIRTIO_NET_OVERHEAD)
+        return (
+            self.bond.dma.copy_time(payload)
+            + self.port.board_link.serialization_time(payload)
+            + self.port.board_link.spec.tlp_latency_s
+        )
+
+    def tx_time(self, n_packets: int, nbytes_each: int, bypass: bool = False) -> float:
+        """Guest-to-backend time for a Tx burst (no vSwitch, no limits).
+
+        The guest's notify write travels one PCI hop to IO-Bond; the
+        head-register update travels one hop to the mailbox; EVENT_IDX
+        suppresses all but one kick per burst.
+        """
+        if bypass:
+            guest = n_packets * self.kernel.bypass_tx_time(nbytes_each)
+        else:
+            guest = n_packets * self.kernel.udp_tx_time(nbytes_each)
+        hops = 2 * self.bond.spec.pci_hop_latency_s
+        backend_pickup = self.hv_spec.poll_interval_s / 2 + self.hv_spec.request_handling_s
+        return guest + hops + self._iobond_tx_time(n_packets, nbytes_each) + backend_pickup
+
+    def rx_time(self, n_packets: int, nbytes_each: int, bypass: bool = False) -> float:
+        """Backend-to-guest time for an Rx burst (after the vSwitch)."""
+        io = self._iobond_rx_time(n_packets, nbytes_each)
+        cold = n_packets * self.bond.spec.cold_buffer_penalty_s
+        if bypass:
+            # DPDK in the guest: no MSI — the guest PMD polls the ring.
+            guest = n_packets * self.kernel.bypass_rx_time(nbytes_each)
+            return io + guest + cold
+        msi = self.bond.msi.delivery_time  # one interrupt per burst (coalesced)
+        guest = n_packets * self.kernel.udp_rx_time(nbytes_each)
+        return io + msi + guest + cold
+
+    # -- latency sampling -------------------------------------------------------
+    def one_way_latency_sample(self, nbytes: int, bypass: bool = False) -> float:
+        """One packet guest-to-guest through this server's vSwitch.
+
+        Adds the stochastic poll phase and a small DMA-contention
+        jitter; the vm-guest equivalent instead adds preemption spikes.
+        """
+        tx = self.tx_time(1, nbytes, bypass)
+        rx = self.rx_time(1, nbytes, bypass)
+        switch = self._vswitch_time(1)
+        base = PMD_ROUND_S if bypass else 0.0
+        poll_phase = float(self._jitter.uniform(0.0, self.hv_spec.poll_interval_s))
+        dma_jitter = float(self._jitter.exponential(0.15e-6))
+        return base + tx + switch + rx + poll_phase + dma_jitter
+
+    # -- throughput capacity ---------------------------------------------------------
+    def tx_cost_per_packet(self, nbytes: int, bypass: bool = False,
+                           batch: int = PMD_BURST) -> float:
+        """Sender-side busy time per packet at steady state."""
+        return self.tx_time(batch, nbytes, bypass) / batch
+
+    def rx_cost_per_packet(self, nbytes: int, bypass: bool = False,
+                           batch: int = PMD_BURST) -> float:
+        return self.rx_time(batch, nbytes, bypass) / batch
+
+    def stage_times(self, batch: int, nbytes: int, bypass: bool = False,
+                    coalesce: int = 4) -> dict:
+        """Per-batch service time of each pipeline stage at saturation.
+
+        Under sustained load EVENT_IDX suppresses most kicks and
+        coalesces interrupts, so notification costs are amortized over
+        ``coalesce`` batches. The throughput bottleneck is the slowest
+        stage; for the bm path, the receiver-side guest CPU plus the
+        FPGA's per-descriptor work.
+        """
+        spec = self.bond.spec
+        if bypass:
+            tx_cpu = self.kernel.bypass_tx_time(nbytes)
+            rx_cpu = self.kernel.bypass_rx_time(nbytes)
+            interrupt = 0.0  # guest PMD polls; no MSI at all
+        else:
+            tx_cpu = self.kernel.udp_tx_time(nbytes)
+            rx_cpu = self.kernel.udp_rx_time(nbytes)
+            interrupt = self.bond.msi.delivery_time / coalesce
+        kick = spec.pci_access_latency_s / coalesce
+        desc = spec.desc_processing_s * batch
+        payload = batch * (nbytes + VIRTIO_NET_OVERHEAD)
+        cold = batch * spec.cold_buffer_penalty_s
+        return {
+            "sender": batch * tx_cpu + kick,
+            "iobond_tx": desc + self.bond.dma.copy_time(payload)
+            + self.port.board_link.serialization_time(DESCRIPTOR_SYNC_BYTES * batch),
+            "backend": batch * self.hv_spec.request_handling_s,
+            "switch": self._vswitch_time(batch),
+            "iobond_rx": desc + self.bond.dma.copy_time(payload)
+            + self.port.board_link.serialization_time(payload),
+            "receiver": batch * rx_cpu + interrupt + cold,
+        }
+
+
+class VmNetPath(_NetPathBase):
+    """Network datapath of a vm-guest: shared-memory vring + PMD backend."""
+
+    def __init__(self, sim, kernel: GuestKernel, vswitch: DpdkVSwitch,
+                 limiters: GuestLimiters, port_name: str,
+                 kvm: KvmModel, scheduler: HostScheduler,
+                 backend_poll_s: float = 0.5e-6):
+        super().__init__(sim, kernel, vswitch, limiters, port_name)
+        self.kvm = kvm
+        self.scheduler = scheduler
+        self.backend_poll_s = backend_poll_s
+        self._jitter = sim.streams.get(f"vmnet.{port_name}.jitter")
+
+    def tx_time(self, n_packets: int, nbytes_each: int, bypass: bool = False) -> float:
+        """Guest-to-backend time for a Tx burst.
+
+        No kick cost: the vhost-user PMD polls the avail ring in shared
+        memory. The backend memcpy into the switch buffer is host CPU
+        work (this is the copy IO-Bond's DMA replaces on the bm path).
+        """
+        if bypass:
+            guest = n_packets * self.kernel.bypass_tx_time(nbytes_each)
+        else:
+            guest = n_packets * self.kernel.udp_tx_time(nbytes_each)
+        guest += n_packets * self.kvm.spec.kick_cost_s
+        copy = n_packets * (nbytes_each + VIRTIO_NET_OVERHEAD) / self.kernel.spec.copy_bytes_per_s
+        return guest + self.backend_poll_s / 2 + copy
+
+    def rx_time(self, n_packets: int, nbytes_each: int, bypass: bool = False) -> float:
+        """Backend-to-guest time for an Rx burst."""
+        copy = n_packets * (nbytes_each + VIRTIO_NET_OVERHEAD) / self.kernel.spec.copy_bytes_per_s
+        if bypass:
+            guest = n_packets * self.kernel.bypass_rx_time(nbytes_each)
+            return copy + guest
+        inject = self.kvm.interrupt_injection_time()  # one per coalesced burst
+        guest = n_packets * self.kernel.udp_rx_time(nbytes_each)
+        return copy + inject + guest
+
+    def one_way_latency_sample(self, nbytes: int, bypass: bool = False) -> float:
+        tx = self.tx_time(1, nbytes, bypass)
+        rx = self.rx_time(1, nbytes, bypass)
+        switch = self._vswitch_time(1)
+        base = PMD_ROUND_S if bypass else 0.0
+        poll_phase = float(self._jitter.uniform(0.0, self.backend_poll_s))
+        preempt = self.scheduler.preemption_during(tx + rx)
+        return base + tx + switch + rx + poll_phase + preempt
+
+    def tx_cost_per_packet(self, nbytes: int, bypass: bool = False,
+                           batch: int = PMD_BURST) -> float:
+        return self.tx_time(batch, nbytes, bypass) / batch
+
+    def rx_cost_per_packet(self, nbytes: int, bypass: bool = False,
+                           batch: int = PMD_BURST) -> float:
+        return self.rx_time(batch, nbytes, bypass) / batch
+
+    def stage_times(self, batch: int, nbytes: int, bypass: bool = False,
+                    coalesce: int = 4) -> dict:
+        """Per-batch service time of each pipeline stage at saturation.
+
+        The vm path has no IO-Bond stages: "packets between two
+        vm-guests were exchanged directly through the main memory"
+        (Section 4.3). The backend's memcpy is its only extra work.
+        """
+        if bypass:
+            tx_cpu = self.kernel.bypass_tx_time(nbytes)
+            rx_cpu = self.kernel.bypass_rx_time(nbytes)
+            interrupt = 0.0
+        else:
+            tx_cpu = self.kernel.udp_tx_time(nbytes)
+            rx_cpu = self.kernel.udp_rx_time(nbytes)
+            interrupt = self.kvm.interrupt_injection_time() / coalesce
+        payload = batch * (nbytes + VIRTIO_NET_OVERHEAD)
+        copy = payload / self.kernel.spec.copy_bytes_per_s
+        return {
+            "sender": batch * tx_cpu,
+            "backend": copy + self.backend_poll_s,
+            "switch": self._vswitch_time(batch),
+            "backend_rx": copy,
+            "receiver": batch * rx_cpu + interrupt,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Storage
+# ---------------------------------------------------------------------------
+@dataclass
+class BlkResult:
+    """Completion record for one block operation."""
+
+    latency_s: float
+    nbytes: int
+    is_read: bool
+
+
+class _BlkPathBase:
+    def __init__(self, sim, kernel: GuestKernel, storage: SpdkStorage,
+                 limiters: GuestLimiters):
+        self.sim = sim
+        self.kernel = kernel
+        self.storage = storage
+        self.limiters = limiters
+        self.completed = 0
+
+
+class BmBlkPath(_BlkPathBase):
+    """Storage datapath of a bm-guest.
+
+    Data "are copied directly to the block device's I/O request queue
+    by the DMA engines of IO-Bond; while the vm-guest requires extra
+    memory copies by the CPU" (Section 4.3).
+    """
+
+    def __init__(self, sim, kernel: GuestKernel, storage: SpdkStorage,
+                 limiters: GuestLimiters, bond: IoBond, port: IoBondPort,
+                 hv_spec: BmHypervisorSpec = BmHypervisorSpec()):
+        super().__init__(sim, kernel, storage, limiters)
+        self.bond = bond
+        self.port = port
+        self.hv_spec = hv_spec
+        self._jitter = sim.streams.get("bmblk.jitter")
+
+    def _iobond_leg(self, nbytes: int) -> float:
+        """IO-Bond cost for moving a request or completion payload."""
+        return (
+            self.bond.spec.pci_hop_latency_s * 2
+            + self.bond.dma.copy_time(nbytes + DESCRIPTOR_SYNC_BYTES)
+            + self.port.board_link.serialization_time(nbytes)
+            + self.port.board_link.spec.tlp_latency_s
+        )
+
+    def io(self, nbytes: int, is_read: bool):
+        """Process: one block operation end-to-end; returns BlkResult.
+
+        The returned latency is the *completion* latency (fio's clat):
+        it excludes the limiter wait, which fio accounts as submission
+        throttling.
+        """
+        yield from self.limiters.admit_io(1, nbytes)
+        start = self.sim.now
+        submit_payload = nbytes if not is_read else 64
+        yield self.sim.timeout(self.kernel.blk_submit_time(nbytes))
+        yield self.sim.timeout(self._iobond_leg(submit_payload))
+        yield self.sim.timeout(
+            self.hv_spec.poll_interval_s / 2 + self.hv_spec.request_handling_s
+        )
+        yield from self.storage.submit(_NO_LIMITS, nbytes, is_read)
+        return_payload = nbytes if is_read else 16
+        yield self.sim.timeout(self._iobond_leg(return_payload))
+        yield self.sim.timeout(self.bond.msi.delivery_time)
+        yield self.sim.timeout(self.kernel.blk_complete_time())
+        yield self.sim.timeout(float(self._jitter.exponential(2e-6)))
+        self.completed += 1
+        return BlkResult(self.sim.now - start, nbytes, is_read)
+
+
+class VmBlkPath(_BlkPathBase):
+    """Storage datapath of a vm-guest."""
+
+    def __init__(self, sim, kernel: GuestKernel, storage: SpdkStorage,
+                 limiters: GuestLimiters, kvm: KvmModel, scheduler: HostScheduler,
+                 backend_poll_s: float = 2e-6, exits_per_io: float = 3.0,
+                 host_queue_mean_s: float = 30e-6, host_queue_sigma: float = 1.3):
+        super().__init__(sim, kernel, storage, limiters)
+        self.kvm = kvm
+        self.scheduler = scheduler
+        self.backend_poll_s = backend_poll_s
+        self.exits_per_io = exits_per_io
+        # The vhost/iothread pool is shared with other hypervisor work
+        # on the host cores (Section 2.1: serving I/O "could take the
+        # full load of 8 to 10 CPU cores"); requests queue behind it.
+        # Lognormal with the requested mean; the heavy tail is what
+        # triples the vm-guest's 99.9th-percentile latency in Fig 11.
+        self.host_queue_mean_s = host_queue_mean_s
+        self.host_queue_sigma = host_queue_sigma
+        self._jitter = sim.streams.get("vmblk.jitter")
+
+    def _host_queue_delay(self) -> float:
+        import math
+
+        mu = math.log(self.host_queue_mean_s) - self.host_queue_sigma ** 2 / 2.0
+        return float(self._jitter.lognormal(mean=mu, sigma=self.host_queue_sigma))
+
+    def io(self, nbytes: int, is_read: bool):
+        """Process: one block operation end-to-end; returns BlkResult."""
+        yield from self.limiters.admit_io(1, nbytes)
+        start = self.sim.now
+        yield self.sim.timeout(self.kernel.blk_submit_time(nbytes))
+        # Host-side costs: backend poll pickup, CPU copies of the data
+        # (in and out of the vhost process), guest exits charged to this
+        # I/O, and the completion interrupt injection.
+        copy = nbytes / self.kernel.spec.copy_bytes_per_s
+        host_cpu = (
+            self.backend_poll_s / 2
+            + copy
+            + self.kvm.io_overhead_per_operation(self.exits_per_io)
+        )
+        preempt = self.scheduler.preemption_during(host_cpu + 20e-6)
+        yield self.sim.timeout(host_cpu + self._host_queue_delay())
+        yield from self.storage.submit(_NO_LIMITS, nbytes, is_read)
+        yield self.sim.timeout(copy)
+        yield self.sim.timeout(self.kvm.interrupt_injection_time())
+        yield self.sim.timeout(self.kernel.blk_complete_time())
+        yield self.sim.timeout(preempt)
+        self.completed += 1
+        return BlkResult(self.sim.now - start, nbytes, is_read)
+
+
+class _NullLimiters:
+    """Limiter stand-in: paths apply guest limits once, at admission."""
+
+    def admit_packets(self, count: int, nbytes: int):
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def admit_io(self, count: int, nbytes: int):
+        return
+        yield  # pragma: no cover
+
+
+_NO_LIMITS = _NullLimiters()

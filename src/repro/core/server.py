@@ -1,0 +1,224 @@
+"""Server assemblies: the BM-Hive server and the virtualization server.
+
+:class:`BmHiveServer` is the paper's Fig 3 system: a base server
+(vSwitch + SPDK + bm-hypervisor processes) hosting up to 16 compute
+boards, each bridged by its own IO-Bond. :class:`VirtServer` is the
+baseline: a dual-socket KVM host running vm-guests over shared-memory
+virtio with the same user-space backends.
+
+Both expose ``launch_guest`` returning a fully wired guest whose
+``net_path`` / ``blk_path`` go through the respective datapaths.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+from repro.backend.dpdk import DpdkVSwitch
+from repro.backend.fabric import Fabric
+from repro.backend.limits import GuestLimiters, RateLimits
+from repro.backend.media import CLOUD_SSD, LOCAL_NVME
+from repro.backend.spdk import SpdkStorage
+from repro.core.guests import BmGuest, VmGuest
+from repro.core.paths import BmBlkPath, BmNetPath, VmBlkPath, VmNetPath
+from repro.guest.firmware import EfiFirmware
+from repro.guest.image import VmImage
+from repro.hw.board import Chassis, ChassisSpec, ComputeBoard
+from repro.hypervisor.bm import BmHypervisor
+from repro.hypervisor.kvm import HostScheduler, KvmModel
+from repro.iobond.bond import IoBond, IoBondSpec
+from repro.virtio.blk import SECTOR_BYTES, VIRTIO_BLK_S_OK, BlkRequestHeader, VirtioBlkDevice
+from repro.virtio.device import full_init
+from repro.virtio.net import VirtioNetDevice
+
+__all__ = ["BmHiveServer", "VirtServer"]
+
+
+def _unique_mac(name: str) -> str:
+    """Stable locally-administered MAC derived from the guest name."""
+    import hashlib
+
+    digest = hashlib.sha256(name.encode()).digest()
+    return "52:54:00:" + ":".join(f"{b:02x}" for b in digest[:3])
+
+
+class BmHiveServer:
+    """One BM-Hive chassis: base + boards + per-guest bm-hypervisors."""
+
+    def __init__(self, sim, fabric: Optional[Fabric] = None, name: str = "bmhive-0",
+                 chassis_spec: ChassisSpec = ChassisSpec(),
+                 iobond_spec: Optional[IoBondSpec] = None,
+                 local_storage: bool = False):
+        self.sim = sim
+        self.name = name
+        self.fabric = fabric or Fabric(sim)
+        self.nic = self.fabric.attach(name)
+        self.chassis = Chassis(sim, chassis_spec)
+        self.vswitch = DpdkVSwitch(sim, name=f"{name}.vswitch")
+        media = LOCAL_NVME if local_storage else CLOUD_SSD
+        self.storage = SpdkStorage(
+            sim, self.fabric, name, media=media, remote=not local_storage
+        )
+        self.iobond_spec = iobond_spec or IoBondSpec.fpga()
+        self.guests: List[BmGuest] = []
+        self.hypervisors: Dict[str, BmHypervisor] = {}
+        self._guest_ids = itertools.count()
+
+    @property
+    def density(self) -> int:
+        """Number of co-resident bm-guests."""
+        return len(self.guests)
+
+    def launch_guest(self, cpu_model: str = "Xeon E5-2682 v4", memory_gib: int = 64,
+                     limits: Optional[RateLimits] = None,
+                     name: Optional[str] = None,
+                     image: Optional[VmImage] = None) -> BmGuest:
+        """Allocate a board, wire IO-Bond + backends, power on.
+
+        The board is admitted against the chassis slot/power budgets,
+        mirroring the 16-guest cap of the deployed system.
+        """
+        name = name or f"{self.name}.bm{next(self._guest_ids)}"
+        limits = limits or RateLimits.standard()
+        board = ComputeBoard(self.sim, cpu_model, memory_gib)
+        self.chassis.admit(board)
+
+        bond = IoBond(self.sim, self.iobond_spec, name=f"{name}.iobond")
+        net_device = VirtioNetDevice(mac=_unique_mac(name))
+        blk_device = VirtioBlkDevice()
+        net_port = bond.add_port("net", net_device)
+        blk_port = bond.add_port("blk", blk_device)
+
+        hypervisor = BmHypervisor(self.sim, bond, guest_name=name)
+        hypervisor.power_on(board)
+        self.hypervisors[name] = hypervisor
+
+        guest = BmGuest(
+            self.sim, cpu_model, memory_gib, name=name,
+            board=board, bond=bond, hypervisor=hypervisor,
+        )
+        guest.net_device = net_device
+        guest.blk_device = blk_device
+        guest.firmware = EfiFirmware(self.sim)
+        guest.image = image
+        limiters = GuestLimiters(self.sim, limits)
+        guest.limiters = limiters
+
+        port_name = f"{name}.net"
+        self.vswitch.add_port(port_name, limiters, mac=net_device.mac)
+        guest.net_path = BmNetPath(
+            self.sim, guest.kernel, self.vswitch, limiters, port_name,
+            bond=bond, port=net_port,
+        )
+        guest.blk_path = BmBlkPath(
+            self.sim, guest.kernel, self.storage, limiters,
+            bond=bond, port=blk_port,
+        )
+        self.guests.append(guest)
+        return guest
+
+    # -- full-fidelity boot (used by examples and integration tests) -------
+    def boot_guest(self, guest: BmGuest, image: VmImage):
+        """Process: boot ``guest`` from ``image`` through the real rings.
+
+        Runs the whole Fig 6 machinery: the firmware posts virtio-blk
+        reads, kicks through IO-Bond's emulated PCI function, the
+        bm-hypervisor's poll loop services the shadow vring against
+        cloud storage, and completions DMA back with an MSI.
+        """
+        blk = guest.blk_device
+        bond = guest.bond
+        port = bond.port("blk")
+        hypervisor = guest.hypervisor
+        full_init(blk)
+
+        def handle_blk(entry):
+            header = BlkRequestHeader.unpack(entry.payload)
+            nbytes = max(0, entry.writable_bytes - 1)
+
+            def service():
+                yield from self.storage.submit(guest.limiters, max(nbytes, SECTOR_BYTES),
+                                               is_read=True)
+                data = b"".join(
+                    image.read_sector(header.sector + i)
+                    for i in range(nbytes // SECTOR_BYTES)
+                )
+                port.shadows[0].backend_complete(
+                    entry.guest_head, data + bytes([VIRTIO_BLK_S_OK])
+                )
+                yield from bond.deliver_completions(port, 0)
+
+            return service()
+
+        hypervisor.register_handler("blk", 0, handle_blk)
+        hypervisor.mark_booting()
+        hypervisor.start()
+
+        def io_roundtrip(sector, n_sectors):
+            head = blk.driver_read(sector, n_sectors * SECTOR_BYTES)
+            chain = blk.vq.resolve_chain(head)
+            yield from bond.guest_pci_access(port, "queue_notify", 0)
+            # The firmware polls the used ring (no interrupts in EFI).
+            while True:
+                used = blk.vq.get_used()
+                if used is not None:
+                    break
+                yield self.sim.timeout(10e-6)
+            addr, length = chain.writable[0]
+            return blk.memory.read(addr, length)
+
+        record = yield from guest.firmware.boot(blk, image, io_roundtrip)
+        hypervisor.mark_running()
+        guest.image = image
+        return record
+
+
+class VirtServer:
+    """The baseline KVM host: dual-socket, shared by vm-guests."""
+
+    def __init__(self, sim, fabric: Optional[Fabric] = None, name: str = "kvm-0",
+                 cpu_model: str = "Xeon E5-2682 v4",
+                 local_storage: bool = False):
+        self.sim = sim
+        self.name = name
+        self.fabric = fabric or Fabric(sim)
+        self.nic = self.fabric.attach(name)
+        self.cpu_model = cpu_model
+        self.vswitch = DpdkVSwitch(sim, name=f"{name}.vswitch")
+        media = LOCAL_NVME if local_storage else CLOUD_SSD
+        self.storage = SpdkStorage(
+            sim, self.fabric, name, media=media, remote=not local_storage
+        )
+        self.kvm = KvmModel()
+        self.guests: List[VmGuest] = []
+        self._guest_ids = itertools.count()
+
+    def launch_guest(self, cpu_model: Optional[str] = None, memory_gib: int = 64,
+                     limits: Optional[RateLimits] = None,
+                     name: Optional[str] = None, pinned: bool = True,
+                     image: Optional[VmImage] = None) -> VmGuest:
+        """Create a vm-guest with the shared-memory virtio datapaths."""
+        name = name or f"{self.name}.vm{next(self._guest_ids)}"
+        limits = limits or RateLimits.standard()
+        scheduler = HostScheduler(self.sim, pinned=pinned, stream=f"host.{name}")
+        guest = VmGuest(
+            self.sim, cpu_model or self.cpu_model, memory_gib, name=name,
+            kvm=self.kvm, scheduler=scheduler, pinned=pinned,
+        )
+        guest.image = image
+        limiters = GuestLimiters(self.sim, limits)
+        guest.limiters = limiters
+
+        port_name = f"{name}.net"
+        self.vswitch.add_port(port_name, limiters)
+        guest.net_path = VmNetPath(
+            self.sim, guest.kernel, self.vswitch, limiters, port_name,
+            kvm=self.kvm, scheduler=scheduler,
+        )
+        guest.blk_path = VmBlkPath(
+            self.sim, guest.kernel, self.storage, limiters,
+            kvm=self.kvm, scheduler=scheduler,
+        )
+        self.guests.append(guest)
+        return guest

@@ -1,0 +1,87 @@
+"""Tenant-operated hypervisors on bm-guests (Sections 2.3 and 5).
+
+"In BM-Hive, users can run their hypervisor of choice (e.g., VMware,
+KVM, Xen, and Hyper-V) without the additional overhead of nested
+virtualization... the user's hypervisor runs directly on the physical
+CPU and has full control over the hardware virtualization support."
+
+A :class:`TenantHypervisor` on a compute board sees real VT-x: its
+guests pay *single-level* virtualization cost (the ordinary KVM
+model). The same tenant hypervisor inside a vm-guest runs nested, and
+every L2 exit reflects through L1 — the Turtles amplification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.hypervisor.kvm import KvmModel
+
+__all__ = ["TenantGuest", "TenantHypervisor", "SUPPORTED_TENANT_HYPERVISORS"]
+
+SUPPORTED_TENANT_HYPERVISORS = ("KVM", "Xen", "VMware ESXi", "Hyper-V")
+
+
+@dataclass
+class TenantGuest:
+    """A guest of the tenant's own hypervisor."""
+
+    name: str
+    vcpus: int
+    level: int  # 1 = on bare metal under the tenant HV; 2 = nested
+
+    def efficiency(self, model: KvmModel, io_intensive: bool = False) -> float:
+        """Relative performance vs running the code natively."""
+        if self.level == 1:
+            # Ordinary virtualization: baseline exit rates apply once.
+            rate = (
+                model.spec.nested_io_exit_rate
+                if io_intensive
+                else model.spec.nested_base_exit_rate
+            )
+            return model.cpu_efficiency(rate)
+        # Nested: the L1 hypervisor's handling multiplies L0 exits.
+        return model.nested_efficiency(io_intensive)
+
+
+@dataclass
+class TenantHypervisor:
+    """The tenant's hypervisor, on a board or inside a vm-guest."""
+
+    flavor: str
+    host_kind: str                      # "bm" or "vm"
+    model: KvmModel = field(default_factory=KvmModel)
+    guests: List[TenantGuest] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.flavor not in SUPPORTED_TENANT_HYPERVISORS:
+            raise ValueError(
+                f"unsupported hypervisor {self.flavor!r}; "
+                f"choose from {SUPPORTED_TENANT_HYPERVISORS}"
+            )
+        if self.host_kind not in ("bm", "vm"):
+            raise ValueError(f"host_kind must be 'bm' or 'vm': {self.host_kind}")
+
+    @property
+    def uses_real_vtx(self) -> bool:
+        """On a board, VT-x belongs to the tenant; in a VM it is emulated."""
+        return self.host_kind == "bm"
+
+    @property
+    def nesting_level(self) -> int:
+        return 1 if self.host_kind == "bm" else 2
+
+    def launch(self, name: str, vcpus: int) -> TenantGuest:
+        if vcpus < 1:
+            raise ValueError(f"vcpus must be >= 1, got {vcpus}")
+        guest = TenantGuest(name=name, vcpus=vcpus, level=self.nesting_level)
+        self.guests.append(guest)
+        return guest
+
+    def fleet_efficiency(self, io_intensive: bool = False) -> float:
+        """Mean relative performance across the tenant's guests."""
+        if not self.guests:
+            raise RuntimeError("no tenant guests launched")
+        total = sum(g.efficiency(self.model, io_intensive) for g in self.guests)
+        return total / len(self.guests)

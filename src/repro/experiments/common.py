@@ -1,0 +1,51 @@
+"""Shared test-bed construction for the evaluation experiments.
+
+Section 4.1: "All the experiments were conducted on the Xeon E5-2682
+v4 instance... Both the bm-guest and the vm-guest run on the Xeon
+E5-2682 v4 CPU with 64GB of RAM. VM-guests are exclusive instance and
+pinned to the physical CPU cores with NUMA node affinity."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.backend.limits import RateLimits
+from repro.core.guests import PhysicalMachine
+from repro.core.server import BmHiveServer, VirtServer
+from repro.sim import Simulator
+
+__all__ = ["Testbed", "make_testbed"]
+
+
+@dataclass
+class Testbed:
+    """One simulator with the standard guest trio wired up."""
+
+    sim: Simulator
+    hive: BmHiveServer
+    kvm: VirtServer
+    bm: object
+    bm_peer: object
+    vm: object
+    vm_peer: object
+    physical: PhysicalMachine
+
+
+def make_testbed(seed: int = 0, limits: RateLimits = None,
+                 local_storage: bool = False) -> Testbed:
+    """Build the Section 4.1 environment: bm pair, vm pair, physical."""
+    sim = Simulator(seed=seed)
+    limits = limits or RateLimits.standard()
+    hive = BmHiveServer(sim, local_storage=local_storage)
+    bm = hive.launch_guest(name="bm-guest-a", limits=limits)
+    bm_peer = hive.launch_guest(name="bm-guest-b", limits=limits)
+    kvm = VirtServer(sim, fabric=hive.fabric, local_storage=local_storage)
+    vm = kvm.launch_guest(name="vm-guest-a", limits=limits, pinned=True)
+    vm_peer = kvm.launch_guest(name="vm-guest-b", limits=limits, pinned=True)
+    physical = PhysicalMachine(sim)
+    return Testbed(
+        sim=sim, hive=hive, kvm=kvm,
+        bm=bm, bm_peer=bm_peer, vm=vm, vm_peer=vm_peer,
+        physical=physical,
+    )

@@ -1,0 +1,69 @@
+"""Section 3.5: density, per-vCPU cost, price, and power.
+
+Paper anchors: 88 sellable HT per vm-server vs 256 HT per BM-Hive
+server (2.9x density); bm-guest sell price 10% lower than a vm-guest
+of the same configuration; TDP estimate 3.17 W/vCPU (BM-Hive single
+96-HT board) vs 3.06 W/vCPU (vm server).
+"""
+
+from __future__ import annotations
+
+from repro.cloud.power import compare_power
+from repro.cloud.pricing import compare_density
+from repro.experiments.base import ExperimentResult, check, check_between
+from repro.fleet.demand import run_placement_study
+from repro.sim import Simulator
+
+EXPERIMENT_ID = "cost"
+TITLE = "Density, cost and power efficiency (Section 3.5)"
+
+
+def run(seed: int = 0, quick: bool = True) -> ExperimentResult:
+    density = compare_density()
+    power = compare_power()
+    study = run_placement_study(Simulator(seed=seed),
+                                n_tenants=3000 if quick else 20000)
+    rows = [
+        {"metric": "sellable HT / vm-server", "value": density.vm_sellable_ht,
+         "paper": 88},
+        {"metric": "sellable HT / BM-Hive server", "value": density.bm_sellable_ht,
+         "paper": 256},
+        {"metric": "density gain", "value": density.density_gain, "paper": 256 / 88},
+        {"metric": "cost per HT ratio (bm/vm)", "value": density.cost_per_ht_ratio,
+         "paper": "< 1 (overwhelming)"},
+        {"metric": "bm sell-price discount", "value": density.bm_price_discount,
+         "paper": 0.10},
+        {"metric": "vm W/vCPU", "value": power.vm_watts_per_vcpu, "paper": 3.06},
+        {"metric": "bm W/vCPU (96HT board)", "value": power.bm_watts_per_vcpu,
+         "paper": 3.17},
+        {"metric": "tenants under 32 HT",
+         "value": study.tenants_under_32ht / study.n_tenants,
+         "paper": "> 95% (Section 1)"},
+        {"metric": "servers: single-tenant vs BM-Hive",
+         "value": f"{study.single_tenant_servers} vs {study.bmhive_servers}",
+         "paper": "high density"},
+        {"metric": "capacity utilization: single-tenant vs BM-Hive",
+         "value": f"{study.single_tenant_utilization:.2f} vs "
+         f"{study.bmhive_utilization:.2f}",
+         "paper": "single-tenant wastes most of the server"},
+    ]
+    checks = [
+        check("vm server sells 88 HT", density.vm_sellable_ht == 88),
+        check("BM-Hive sells 256 HT", density.bm_sellable_ht == 256),
+        check("per-HT hardware cost favors BM-Hive",
+              density.cost_per_ht_ratio < 0.75,
+              f"ratio {density.cost_per_ht_ratio:.2f}"),
+        check_between("vm W/vCPU (paper 3.06)", power.vm_watts_per_vcpu, 2.9, 3.25),
+        check_between("bm W/vCPU (paper 3.17)", power.bm_watts_per_vcpu, 3.0, 3.35),
+        check("bm W/vCPU slightly above vm (FPGA + base CPU)",
+              0.0 < power.overhead_watts_per_vcpu < 0.2,
+              f"overhead {power.overhead_watts_per_vcpu:.3f} W/vCPU"),
+        check("~95% of tenants need < 32 HT (Section 1 statistic)",
+              abs(study.tenants_under_32ht / study.n_tenants - 0.95) < 0.03),
+        check("BM-Hive serves the fleet with far fewer servers",
+              study.server_reduction > 5.0,
+              f"{study.server_reduction:.1f}x fewer"),
+        check("BM-Hive at least doubles capacity utilization",
+              study.bmhive_utilization > 2 * study.single_tenant_utilization),
+    ]
+    return ExperimentResult(EXPERIMENT_ID, TITLE, rows, checks)

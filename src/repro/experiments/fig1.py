@@ -1,0 +1,38 @@
+"""Fig 1: VM preemption percentiles, shared vs exclusive vCPUs."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, check, check_between
+from repro.fleet import run_preemption_study
+from repro.sim import Simulator
+
+EXPERIMENT_ID = "fig1"
+TITLE = "VM preemption p99/p99.9 over 24h, shared vs exclusive"
+
+
+def run(seed: int = 0, quick: bool = True) -> ExperimentResult:
+    sim = Simulator(seed=seed)
+    n_vms = 20_000 if quick else 50_000
+    study = run_preemption_study(sim, n_vms=n_vms)
+    rows = study.fig1_rows()
+
+    shared_p99 = [r["shared_p99_percent"] for r in rows]
+    shared_p999 = [r["shared_p999_percent"] for r in rows]
+    excl_p99 = [r["exclusive_p99_percent"] for r in rows]
+    excl_p999 = [r["exclusive_p999_percent"] for r in rows]
+    checks = [
+        check_between("shared p99 low end (%)", min(shared_p99), 1.5, 3.0),
+        check_between("shared p99 high end (%)", max(shared_p99), 3.0, 4.5),
+        check_between("shared p99.9 low end (%)", min(shared_p999), 2.0, 5.0),
+        check_between("shared p99.9 high end (%)", max(shared_p999), 5.0, 10.5),
+        check_between("exclusive p99 (%)",
+                      sum(excl_p99) / len(excl_p99), 0.1, 0.35),
+        check_between("exclusive p99.9 (%)",
+                      sum(excl_p999) / len(excl_p999), 0.3, 0.7),
+        check(
+            "exclusive series is more stable than shared",
+            (max(excl_p99) - min(excl_p99)) / (sum(excl_p99) / len(excl_p99))
+            < (max(shared_p99) - min(shared_p99)) / (sum(shared_p99) / len(shared_p99)),
+        ),
+    ]
+    return ExperimentResult(EXPERIMENT_ID, TITLE, rows, checks)

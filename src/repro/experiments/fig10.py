@@ -1,0 +1,48 @@
+"""Fig 10: UDP / DPDK / ping latency.
+
+Paper: 64-byte UDP latency through the kernel stack "was almost same
+between two type of guests"; with DPDK bypassing the kernel, the
+"vm-guest was slightly better than BM-Hive due to longer I/O path";
+"The same thing happens on ICMP ping too."
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, check
+from repro.experiments.common import make_testbed
+from repro.workloads.sockperf import dpdk_latency_test, ping_test, udp_latency_test
+
+EXPERIMENT_ID = "fig10"
+TITLE = "64B UDP, DPDK, and ping latency: bm vs vm"
+
+
+def run(seed: int = 0, quick: bool = True) -> ExperimentResult:
+    bed = make_testbed(seed)
+    samples = 800 if quick else 3000
+    bm_udp = udp_latency_test(bed.sim, bed.bm, n_samples=samples)
+    vm_udp = udp_latency_test(bed.sim, bed.vm, n_samples=samples)
+    bm_dpdk = dpdk_latency_test(bed.sim, bed.bm, n_samples=samples)
+    vm_dpdk = dpdk_latency_test(bed.sim, bed.vm, n_samples=samples)
+    bm_ping = ping_test(bed.sim, bed.bm, n_samples=samples // 2)
+    vm_ping = ping_test(bed.sim, bed.vm, n_samples=samples // 2)
+
+    rows = [
+        {"mode": r.mode, "guest": r.guest_kind, "mean_us": r.mean_us,
+         "p99_us": r.summary.p99 * 1e6}
+        for r in (bm_udp, vm_udp, bm_dpdk, vm_dpdk, bm_ping, vm_ping)
+    ]
+    udp_ratio = bm_udp.summary.mean / vm_udp.summary.mean
+    ping_ratio = bm_ping.summary.mean / vm_ping.summary.mean
+    checks = [
+        check("kernel-stack UDP latency almost the same",
+              0.85 < udp_ratio < 1.15, f"bm/vm = {udp_ratio:.3f}"),
+        check("DPDK: vm slightly better (longer bm path)",
+              vm_dpdk.summary.mean < bm_dpdk.summary.mean,
+              f"vm {vm_dpdk.mean_us:.1f}us vs bm {bm_dpdk.mean_us:.1f}us"),
+        check("ping behaves like the kernel-stack case",
+              0.85 < ping_ratio < 1.15, f"bm/vm = {ping_ratio:.3f}"),
+        check("bypass is faster than the kernel stack for both",
+              bm_dpdk.summary.mean < bm_udp.summary.mean
+              and vm_dpdk.summary.mean < vm_udp.summary.mean),
+    ]
+    return ExperimentResult(EXPERIMENT_ID, TITLE, rows, checks)

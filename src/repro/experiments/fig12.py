@@ -1,0 +1,47 @@
+"""Fig 12: NGINX requests per second under Apache bench.
+
+Paper: "bm-guest consistently served about 50% to 60% more requests
+per second than vm-guest. The average response time per request was
+about 30% shorter for bm-guest."
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, check, check_between
+from repro.experiments.common import make_testbed
+from repro.workloads.nginx import DEFAULT_CLIENT_COUNTS, run_nginx_sweep
+
+EXPERIMENT_ID = "fig12"
+TITLE = "NGINX (ab, KeepAlive off): RPS vs concurrency"
+
+
+def run(seed: int = 0, quick: bool = True) -> ExperimentResult:
+    bed = make_testbed(seed)
+    bm = run_nginx_sweep(bed.sim, bed.bm)
+    vm = run_nginx_sweep(bed.sim, bed.vm)
+
+    rows = []
+    gains = []
+    for clients in DEFAULT_CLIENT_COUNTS:
+        gain = bm.rps(clients) / vm.rps(clients)
+        gains.append(gain)
+        rows.append(
+            {
+                "clients": clients,
+                "bm_rps": bm.rps(clients),
+                "vm_rps": vm.rps(clients),
+                "bm_gain": gain,
+                "response_ratio": bm.mean_response(clients) / vm.mean_response(clients),
+            }
+        )
+    saturated = [r for r in rows if r["clients"] >= 200]
+    checks = [
+        check("bm consistently ahead across client counts",
+              all(g > 1.3 for g in gains)),
+        check_between("bm RPS gain at saturation (paper 1.5-1.6x)",
+                      sum(r["bm_gain"] for r in saturated) / len(saturated),
+                      1.40, 1.65),
+        check_between("response-time ratio (paper ~30% shorter)",
+                      saturated[-1]["response_ratio"], 0.60, 0.78),
+    ]
+    return ExperimentResult(EXPERIMENT_ID, TITLE, rows, checks)

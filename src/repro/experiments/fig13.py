@@ -1,0 +1,34 @@
+"""Fig 13: MariaDB read-only throughput under sysbench.
+
+Paper: "For read-only queries, the bm-guest sustained 195K queries
+per second (QPS), while the vm-guest with the same configuration only
+reached 170K QPS, i.e., the bm-guest was about 14.7% faster."
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, check_between
+from repro.experiments.common import make_testbed
+from repro.workloads.mariadb import run_mariadb
+
+EXPERIMENT_ID = "fig13"
+TITLE = "MariaDB read-only QPS (sysbench, 128 threads)"
+
+
+def run(seed: int = 0, quick: bool = True) -> ExperimentResult:
+    bed = make_testbed(seed)
+    bm = run_mariadb(bed.sim, bed.bm)
+    vm = run_mariadb(bed.sim, bed.vm)
+    bm_qps = bm.qps("read-only")
+    vm_qps = vm.qps("read-only")
+    rows = [
+        {"guest": "bm-guest", "read_only_qps": bm_qps, "paper_qps": 195_000},
+        {"guest": "vm-guest", "read_only_qps": vm_qps, "paper_qps": 170_000},
+    ]
+    checks = [
+        check_between("bm read-only QPS (paper 195K)", bm_qps, 185e3, 210e3),
+        check_between("vm read-only QPS (paper 170K)", vm_qps, 160e3, 182e3),
+        check_between("bm gain (paper ~14.7%)",
+                      (bm_qps / vm_qps - 1) * 100, 10.0, 20.0),
+    ]
+    return ExperimentResult(EXPERIMENT_ID, TITLE, rows, checks)

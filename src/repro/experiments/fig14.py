@@ -1,0 +1,40 @@
+"""Fig 14: MariaDB write-only and read/write mixed throughput.
+
+Paper: "the bm-guest was about 42% faster than the vm-guest in
+write-only queries and 55% faster in read/write mixed queries."
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, check_between
+from repro.experiments.common import make_testbed
+from repro.workloads.mariadb import run_mariadb
+
+EXPERIMENT_ID = "fig14"
+TITLE = "MariaDB write-only / read-write QPS (sysbench, 128 threads)"
+
+
+def run(seed: int = 0, quick: bool = True) -> ExperimentResult:
+    bed = make_testbed(seed)
+    bm = run_mariadb(bed.sim, bed.bm)
+    vm = run_mariadb(bed.sim, bed.vm)
+    rows = []
+    gains = {}
+    for mix in ("write-only", "read-write"):
+        gain = (bm.qps(mix) / vm.qps(mix) - 1) * 100
+        gains[mix] = gain
+        rows.append(
+            {
+                "mix": mix,
+                "bm_qps": bm.qps(mix),
+                "vm_qps": vm.qps(mix),
+                "bm_gain_percent": gain,
+            }
+        )
+    checks = [
+        check_between("write-only gain (paper ~42%)", gains["write-only"], 34.0, 50.0),
+        check_between("read-write gain (paper ~55%)", gains["read-write"], 47.0, 64.0),
+        check_between("mixed beats write-only (exit intensity ordering)",
+                      gains["read-write"] - gains["write-only"], 1.0, 30.0),
+    ]
+    return ExperimentResult(EXPERIMENT_ID, TITLE, rows, checks)

@@ -1,0 +1,40 @@
+"""Fig 15: Redis throughput with varying client counts.
+
+Paper: "The performance of the bm-guest (requests per second) was
+about 20% to 40% better than that of the vm-guest" across 1,000 to
+10,000 clients.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, check, check_between
+from repro.experiments.common import make_testbed
+from repro.workloads.redis import DEFAULT_CLIENT_COUNTS, run_redis_client_sweep
+
+EXPERIMENT_ID = "fig15"
+TITLE = "Redis RPS vs clients (1K-10K)"
+
+
+def run(seed: int = 0, quick: bool = True) -> ExperimentResult:
+    bed = make_testbed(seed)
+    bm = run_redis_client_sweep(bed.sim, bed.bm)
+    vm = run_redis_client_sweep(bed.sim, bed.vm)
+    rows = []
+    gains = []
+    for clients in DEFAULT_CLIENT_COUNTS:
+        gain = (bm.rps(clients) / vm.rps(clients) - 1) * 100
+        gains.append(gain)
+        rows.append(
+            {
+                "clients": clients,
+                "bm_rps": bm.rps(clients),
+                "vm_rps": vm.rps(clients),
+                "bm_gain_percent": gain,
+            }
+        )
+    checks = [
+        check("bm ahead at every client count", all(g > 10 for g in gains)),
+        check_between("gain range low end (paper 20-40%)", min(gains), 15.0, 40.0),
+        check_between("gain range high end (paper 20-40%)", max(gains), 20.0, 45.0),
+    ]
+    return ExperimentResult(EXPERIMENT_ID, TITLE, rows, checks)

@@ -1,0 +1,57 @@
+"""Fig 7: SPEC CPU2006 on physical machine, bm-guest, vm-guest.
+
+Paper: "The overall performance of BM-Hive was about 4% faster than
+the physical machine; while the performance of VM was about 4% slower
+than the physical machine."
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, check, check_between
+from repro.experiments.common import make_testbed
+from repro.workloads.spec import CINT2006, run_spec
+
+EXPERIMENT_ID = "fig7"
+TITLE = "SPEC CINT2006 ratios: physical vs bm-guest vs vm-guest"
+
+
+def run(seed: int = 0, quick: bool = True) -> ExperimentResult:
+    bed = make_testbed(seed)
+    pm = run_spec(bed.sim, bed.physical)
+    bm = run_spec(bed.sim, bed.bm)
+    vm = run_spec(bed.sim, bed.vm)
+
+    rows = []
+    for bench in CINT2006:
+        rows.append(
+            {
+                "benchmark": bench.name,
+                "physical": pm.ratios[bench.name],
+                "bm_guest": bm.ratios[bench.name],
+                "vm_guest": vm.ratios[bench.name],
+                "bm_vs_pm": bm.ratios[bench.name] / pm.ratios[bench.name],
+                "vm_vs_pm": vm.ratios[bench.name] / pm.ratios[bench.name],
+            }
+        )
+    rows.append(
+        {
+            "benchmark": "geomean",
+            "physical": pm.geomean,
+            "bm_guest": bm.geomean,
+            "vm_guest": vm.geomean,
+            "bm_vs_pm": bm.geomean / pm.geomean,
+            "vm_vs_pm": vm.geomean / pm.geomean,
+        }
+    )
+    checks = [
+        check_between("bm vs physical (paper ~ +4%)",
+                      bm.geomean / pm.geomean, 1.02, 1.06),
+        check_between("vm vs physical (paper ~ -4%)",
+                      vm.geomean / pm.geomean, 0.94, 0.98),
+        check("memory-bound benchmarks drive the gaps",
+              (bm.ratios["429.mcf"] / pm.ratios["429.mcf"])
+              > (bm.ratios["456.hmmer"] / pm.ratios["456.hmmer"])),
+        check("every component: bm >= vm",
+              all(bm.ratios[b.name] >= vm.ratios[b.name] for b in CINT2006)),
+    ]
+    return ExperimentResult(EXPERIMENT_ID, TITLE, rows, checks)

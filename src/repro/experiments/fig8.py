@@ -1,0 +1,47 @@
+"""Fig 8: STREAM memory bandwidth.
+
+Paper: "the memory bandwidth of BM-Hive was almost identical to the
+physical machine, both close to the speed limit of the four memory
+channels. However, the best performance of the vm-guest can only
+reach about 98% of the bm-guest under load."
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, check, check_between
+from repro.experiments.common import make_testbed
+from repro.hw.memory import STREAM_KERNELS
+from repro.workloads.stream import run_stream
+
+EXPERIMENT_ID = "fig8"
+TITLE = "STREAM bandwidth (16 threads): physical vs bm vs vm"
+
+
+def run(seed: int = 0, quick: bool = True) -> ExperimentResult:
+    bed = make_testbed(seed)
+    pm = run_stream(bed.sim, bed.physical)
+    bm = run_stream(bed.sim, bed.bm)
+    vm = run_stream(bed.sim, bed.vm)
+
+    rows = [
+        {
+            "kernel": kernel,
+            "physical_gbps": pm.gbps(kernel),
+            "bm_gbps": bm.gbps(kernel),
+            "vm_gbps": vm.gbps(kernel),
+            "vm_vs_bm": vm.bandwidth[kernel] / bm.bandwidth[kernel],
+        }
+        for kernel in STREAM_KERNELS
+    ]
+    channel_limit = bed.bm.memory.peak_bandwidth / 1e9
+    checks = [
+        check("bm matches physical on every kernel",
+              all(abs(r["bm_gbps"] - r["physical_gbps"]) / r["physical_gbps"] < 0.02
+                  for r in rows)),
+        check_between("vm/bm under load (paper ~0.98)",
+                      min(r["vm_vs_bm"] for r in rows), 0.96, 0.995),
+        check("bm near the channel limit",
+              all(r["bm_gbps"] > 0.8 * channel_limit for r in rows),
+              f"channel limit {channel_limit:.1f} GB/s"),
+    ]
+    return ExperimentResult(EXPERIMENT_ID, TITLE, rows, checks)

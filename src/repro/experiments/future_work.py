@@ -1,0 +1,109 @@
+"""Section 6: the paper's discussion items, implemented and measured.
+
+Four planned/prototyped improvements:
+
+* **ASIC IO-Bond** — 75% PCI-response-time reduction (0.8 -> 0.2 us);
+* **packet-processing offload into IO-Bond** — "so that lower-cost
+  CPUs can be used by the base";
+* **live upgrade of the bm-hypervisor** (Orthus) and the **live
+  migration prototype** with its two documented drawbacks;
+* **native SGX on bm-guests** vs the special-build chain a VM needs.
+"""
+
+from __future__ import annotations
+
+from repro.core.live_conversion import ConversionError, live_migrate_bm_guest
+from repro.core.server import BmHiveServer
+from repro.experiments.base import ExperimentResult, check, check_between
+from repro.guest.image import VmImage
+from repro.hw.board import ComputeBoard
+from repro.hw.sgx import SgxEnclave, sgx_deployment_for
+from repro.hypervisor.upgrade import live_upgrade
+from repro.iobond.bond import IoBondSpec
+from repro.iobond.offload import OffloadPlan, base_cores_required
+from repro.sim import Simulator
+
+EXPERIMENT_ID = "future_work"
+TITLE = "Section 6: ASIC, offload, live upgrade/migration, SGX"
+
+
+def run(seed: int = 0, quick: bool = True) -> ExperimentResult:
+    sim = Simulator(seed=seed)
+    rows = []
+    checks = []
+
+    # -- ASIC vs FPGA response time ----------------------------------------
+    fpga = IoBondSpec.fpga().pci_access_latency_s
+    asic = IoBondSpec.asic().pci_access_latency_s
+    rows.append({"item": "PCI access FPGA -> ASIC (us)",
+                 "value": f"{fpga * 1e6:.1f} -> {asic * 1e6:.1f}"})
+    checks.append(check("ASIC cuts PCI response by 75%",
+                        abs(asic / fpga - 0.25) < 0.01))
+
+    # -- packet-processing offload ---------------------------------------------
+    cores_now = base_cores_required(OffloadPlan.none())
+    cores_offloaded = base_cores_required(OffloadPlan.full())
+    rows.append({"item": "base cores @16 guests x 4M PPS, no offload",
+                 "value": cores_now})
+    rows.append({"item": "base cores with full IO-Bond offload",
+                 "value": cores_offloaded})
+    checks.append(check("offload lets a much cheaper base CPU serve the chassis",
+                        cores_offloaded <= cores_now / 4,
+                        f"{cores_now} -> {cores_offloaded} cores"))
+
+    # -- live upgrade of the bm-hypervisor ----------------------------------------
+    hive = BmHiveServer(sim)
+    guest = hive.launch_guest()
+    record = sim.run_process(hive.boot_guest(guest, VmImage("tenant")))
+    assert record.kernel_bytes > 0
+    new_hv, upgrade = sim.run_process(live_upgrade(sim, guest.hypervisor, "2.0"))
+    guest.hypervisor = new_hv
+    rows.append({"item": "live hypervisor upgrade service gap (ms)",
+                 "value": upgrade.service_gap_s * 1e3})
+    checks.append(check("upgrade keeps the guest running",
+                        upgrade.guest_stayed_running))
+    checks.append(check("ring cursors preserved across upgrade",
+                        upgrade.cursors_preserved))
+    checks.append(check_between("upgrade gap well under a second",
+                                upgrade.service_gap_s, 0.0, 0.5))
+
+    # -- the live-migration prototype and its drawbacks -----------------------------
+    spare = ComputeBoard(sim, "Xeon E5-2682 v4", 64)
+    hive.chassis.admit(spare)
+    migration = sim.run_process(live_migrate_bm_guest(sim, guest, spare))
+    rows.append({"item": "live migration downtime (s)",
+                 "value": migration.downtime_s})
+    rows.append({"item": "tenant system modified by conversion",
+                 "value": migration.tenant_system_modified})
+    checks.append(check("prototype works for a supported OS",
+                        migration.target_board == spare.board_id))
+    checks.append(check("drawback 1: conversion is intrusive",
+                        migration.tenant_system_modified))
+    unknown_failed = False
+    orphan = hive.launch_guest(name="opaque-tenant")  # no image/OS known
+    try:
+        sim.run_process(live_migrate_bm_guest(sim, orphan, spare))
+    except ConversionError:
+        unknown_failed = True
+    checks.append(check("drawback 2: fails on unknown tenant systems",
+                        unknown_failed))
+
+    # -- SGX -------------------------------------------------------------------------
+    bm_sgx = sgx_deployment_for("bm")
+    vm_sgx = sgx_deployment_for("vm")
+    bm_call = SgxEnclave(bm_sgx).call(work_s=20e-6, n_ocalls=2)
+    vm_call = SgxEnclave(vm_sgx).call(work_s=20e-6, n_ocalls=2)
+    rows.append({"item": "SGX requirements on bm-guest",
+                 "value": "none" if not bm_sgx.requirements else len(bm_sgx.requirements)})
+    rows.append({"item": "SGX requirements on vm-guest",
+                 "value": len(vm_sgx.requirements)})
+    rows.append({"item": "ECALL+2 OCALLs (us): bm vs vm",
+                 "value": f"{bm_call * 1e6:.1f} vs {vm_call * 1e6:.1f}"})
+    checks.append(check("SGX is zero-effort on bm-guests",
+                        bm_sgx.works_out_of_the_box))
+    checks.append(check("vm SGX needs the special-build chain",
+                        len(vm_sgx.requirements) >= 3))
+    checks.append(check("enclave transitions cheaper on bare metal",
+                        bm_call < vm_call))
+
+    return ExperimentResult(EXPERIMENT_ID, TITLE, rows, checks)

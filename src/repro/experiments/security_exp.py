@@ -1,0 +1,77 @@
+"""Section 2.2 / Section 1: the security experiments.
+
+Side channels across shared caches, noisy-neighbor cache DoS, signed
+firmware updates, and the attack-surface comparison.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, check
+from repro.guest.firmware import EfiFirmware, FirmwareImage, SignatureError
+from repro.security import (
+    BM_HIVE_SURFACE,
+    KVM_SURFACE,
+    cache_thrash_attack,
+    prime_probe_attack,
+)
+from repro.sim import Simulator
+
+EXPERIMENT_ID = "security"
+TITLE = "Isolation: side channels, DoS, firmware signing, attack surface"
+
+
+def run(seed: int = 0, quick: bool = True) -> ExperimentResult:
+    sim = Simulator(seed=seed)
+    secret = [int(b) for b in "10110011100010110100111001010011"]
+    co = prime_probe_attack(sim, secret, co_resident=True)
+    iso = prime_probe_attack(sim, secret, co_resident=False)
+    dos_co = cache_thrash_attack(sim, co_resident=True)
+    dos_iso = cache_thrash_attack(sim, co_resident=False)
+
+    vendor_key = b"bm-hive-vendor-key"
+    firmware = EfiFirmware(sim, vendor_key=vendor_key)
+    good = FirmwareImage.signed("2.0.0", b"patched-build", vendor_key)
+    forged = FirmwareImage.forged("6.6.6", b"malicious-build")
+    firmware.update(good)
+    forged_rejected = False
+    try:
+        firmware.update(forged)
+    except SignatureError:
+        forged_rejected = True
+
+    rows = [
+        {"experiment": "prime+probe, shared LLC (VMs)", "result": co.accuracy,
+         "expectation": "recovers the secret"},
+        {"experiment": "prime+probe, separate boards (bm)", "result": iso.accuracy,
+         "expectation": "coin flip"},
+        {"experiment": "cache DoS slowdown, co-resident", "result": dos_co.slowdown_factor,
+         "expectation": "substantial"},
+        {"experiment": "cache DoS slowdown, separate boards",
+         "result": dos_iso.slowdown_factor, "expectation": "none"},
+        {"experiment": "signed firmware update applied",
+         "result": firmware.version == "2.0.0", "expectation": True},
+        {"experiment": "forged firmware rejected", "result": forged_rejected,
+         "expectation": True},
+        {"experiment": "guest-reachable hypervisor kloc (KVM)",
+         "result": KVM_SURFACE.reachable_kloc, "expectation": "large"},
+        {"experiment": "guest-reachable hypervisor kloc (bm)",
+         "result": BM_HIVE_SURFACE.reachable_kloc, "expectation": "small"},
+    ]
+    checks = [
+        check("shared-LLC side channel leaks", co.accuracy > 0.95,
+              f"accuracy {co.accuracy:.2f}"),
+        check("board isolation defeats the channel", iso.accuracy < 0.7,
+              f"accuracy {iso.accuracy:.2f}"),
+        check("co-resident DoS slows the victim substantially",
+              dos_co.slowdown_factor > 2.0,
+              f"{dos_co.slowdown_factor:.1f}x stall increase"),
+        check("bm victim unaffected by the DoS",
+              dos_iso.slowdown_factor < 1.05),
+        check("valid firmware update applies", firmware.version == "2.0.0"),
+        check("forged firmware is rejected", forged_rejected),
+        check("forged update did not change the version",
+              firmware.version == "2.0.0"),
+        check("bm-hypervisor surface < 20% of KVM's",
+              BM_HIVE_SURFACE.reachable_kloc < 0.2 * KVM_SURFACE.reachable_kloc),
+    ]
+    return ExperimentResult(EXPERIMENT_ID, TITLE, rows, checks)

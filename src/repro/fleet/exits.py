@@ -1,0 +1,68 @@
+"""Fleet-wide VM-exit census — the reproduction of Table 2.
+
+"We conducted a quick count of VM exits on 300,000 VMs in our cloud
+data center for five minutes": 3.82% of VMs exceeded 10K exits/s/vCPU,
+0.37% exceeded 50K, 0.13% exceeded 100K (Section 2.1).
+
+Per-VM exit rates across a fleet are classically heavy-tailed: most
+VMs idle, a small population runs interrupt-heavy network workloads.
+A single lognormal fits the three published tail points well; its
+parameters below are solved from the first two points (10K @ 3.82%,
+50K @ 0.37%) and validated against the third in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+__all__ = ["ExitCensus", "run_exit_census", "TABLE2_THRESHOLDS", "TABLE2_PAPER_PERCENTS"]
+
+# Solved from the published tail: mu + 1.772*sigma = ln(10_000) and
+# mu + 2.678*sigma = ln(50_000).
+EXIT_RATE_MU = 6.06
+EXIT_RATE_SIGMA = 1.777
+
+TABLE2_THRESHOLDS = [10_000, 50_000, 100_000]
+TABLE2_PAPER_PERCENTS = {10_000: 3.82, 50_000: 0.37, 100_000: 0.13}
+
+
+@dataclass
+class ExitCensus:
+    """Result of one fleet census."""
+
+    n_vms: int
+    percent_above: Dict[int, float]     # threshold -> percent of VMs
+    mean_rate: float
+    median_rate: float
+
+    def table2_rows(self) -> List[Dict]:
+        return [
+            {
+                "exits_per_second": threshold,
+                "percent_of_vms": self.percent_above[threshold],
+                "paper_percent": TABLE2_PAPER_PERCENTS[threshold],
+            }
+            for threshold in TABLE2_THRESHOLDS
+        ]
+
+
+def run_exit_census(sim, n_vms: int = 300_000,
+                    thresholds: List[int] = None) -> ExitCensus:
+    """Sample per-VM exit rates for ``n_vms`` and compute the census."""
+    if n_vms < 1:
+        raise ValueError(f"n_vms must be >= 1, got {n_vms}")
+    thresholds = thresholds or TABLE2_THRESHOLDS
+    rng = sim.streams.get("fleet.exits")
+    rates = rng.lognormal(mean=EXIT_RATE_MU, sigma=EXIT_RATE_SIGMA, size=n_vms)
+    percent_above = {
+        threshold: float((rates > threshold).mean() * 100.0) for threshold in thresholds
+    }
+    return ExitCensus(
+        n_vms=n_vms,
+        percent_above=percent_above,
+        mean_rate=float(rates.mean()),
+        median_rate=float(np.median(rates)),
+    )

@@ -1,0 +1,88 @@
+"""Fleet preemption percentiles — the reproduction of Fig 1.
+
+"We recorded the execution events of 20,000 VMs in our datacenter for
+24 hours... The figure shows that the 99th percentile of the shareable
+VMs were preempted by the host from about 2% to 4%, and the 99.9th
+percentile of the shareable VMs were preempted from 2% to 10%. The
+situation for the exclusive VMs is both better (about 0.2% and 0.5%,
+respectively) and more stable" (Section 2.1).
+
+Per-VM preemption fractions are lognormal across the fleet; shared
+(unpinned) VMs additionally ride the datacenter's diurnal load curve,
+which is what makes their percentile *series* move over the day while
+the pinned VMs' series stays flat.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+__all__ = ["PreemptionStudy", "run_preemption_study"]
+
+# Shared VMs: median 0.4% preempted, heavy spread. The p99/p99.9 of
+# this distribution land at ~2.9% / ~5.5% before the diurnal factor.
+SHARED_MEDIAN = 0.004
+SHARED_SIGMA = 0.85
+# Exclusive VMs: pinned vCPUs only contend with per-CPU kernel work.
+EXCLUSIVE_MEDIAN = 1.24e-4
+EXCLUSIVE_SIGMA = 1.2
+
+
+def _diurnal_factor(hour: float) -> float:
+    """Datacenter load over the day, normalized around 1.0.
+
+    Peak in the evening, trough in the early morning — the standard
+    public-cloud shape.
+    """
+    return 1.0 + 0.3 * math.sin((hour - 10.0) / 24.0 * 2.0 * math.pi)
+
+
+@dataclass
+class PreemptionStudy:
+    """Hourly percentile series for both placement policies."""
+
+    hours: List[int]
+    shared_p99: List[float]
+    shared_p999: List[float]
+    exclusive_p99: List[float]
+    exclusive_p999: List[float]
+
+    def fig1_rows(self) -> List[Dict]:
+        return [
+            {
+                "hour": hour,
+                "shared_p99_percent": self.shared_p99[i] * 100,
+                "shared_p999_percent": self.shared_p999[i] * 100,
+                "exclusive_p99_percent": self.exclusive_p99[i] * 100,
+                "exclusive_p999_percent": self.exclusive_p999[i] * 100,
+            }
+            for i, hour in enumerate(self.hours)
+        ]
+
+
+def run_preemption_study(sim, n_vms: int = 20_000, hours: int = 24) -> PreemptionStudy:
+    """Sample preemption fractions for the fleet, hour by hour."""
+    if n_vms < 1000:
+        raise ValueError("the percentile study needs at least 1000 VMs")
+    rng = sim.streams.get("fleet.preemption")
+    shared_mu = math.log(SHARED_MEDIAN)
+    exclusive_mu = math.log(EXCLUSIVE_MEDIAN)
+    result = PreemptionStudy([], [], [], [], [])
+    for hour in range(hours):
+        factor = _diurnal_factor(hour)
+        shared = rng.lognormal(mean=shared_mu, sigma=SHARED_SIGMA, size=n_vms) * factor
+        # Pinned vCPUs barely notice fleet load (their contention is
+        # per-CPU kernel threads): a 3% wobble, not a 30% swing.
+        exclusive = rng.lognormal(
+            mean=exclusive_mu, sigma=EXCLUSIVE_SIGMA, size=n_vms
+        ) * (1.0 + (factor - 1.0) * 0.1)
+        result.hours.append(hour)
+        result.shared_p99.append(float(np.percentile(shared, 99)))
+        result.shared_p999.append(float(np.percentile(shared, 99.9)))
+        result.exclusive_p99.append(float(np.percentile(exclusive, 99)))
+        result.exclusive_p999.append(float(np.percentile(exclusive, 99.9)))
+    return result

@@ -1,0 +1,86 @@
+"""Instance provisioning metadata (cloud-init style).
+
+Part of the interoperability story: the same provisioning flow the
+VM cloud uses must work on a bm-guest, because "the bm-hypervisor
+supports the same cloud interface as the vm-hypervisor" (Section 3.2).
+Metadata reaches the guest the same way everything else does — through
+a virtio device — and first-boot provisioning applies it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["InstanceMetadata", "ProvisioningResult", "provision_guest"]
+
+
+@dataclass(frozen=True)
+class InstanceMetadata:
+    """What the control plane knows about one instance at launch."""
+
+    instance_id: str
+    hostname: str
+    ssh_public_keys: List[str] = field(default_factory=list)
+    network: Dict[str, str] = field(default_factory=dict)
+    user_data: str = ""
+
+    def serialize(self) -> bytes:
+        """The bytes the metadata service hands to the guest."""
+        return json.dumps(
+            {
+                "instance-id": self.instance_id,
+                "hostname": self.hostname,
+                "ssh-keys": self.ssh_public_keys,
+                "network": self.network,
+                "user-data": self.user_data,
+            },
+            sort_keys=True,
+        ).encode()
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "InstanceMetadata":
+        raw = json.loads(data.decode())
+        return cls(
+            instance_id=raw["instance-id"],
+            hostname=raw["hostname"],
+            ssh_public_keys=list(raw["ssh-keys"]),
+            network=dict(raw["network"]),
+            user_data=raw["user-data"],
+        )
+
+
+@dataclass
+class ProvisioningResult:
+    """State the guest ends up in after first boot."""
+
+    hostname: str
+    authorized_keys_digest: str
+    interfaces_configured: int
+    user_data_executed: bool
+    idempotency_marker: str
+
+
+def provision_guest(metadata: InstanceMetadata,
+                    previous_marker: Optional[str] = None) -> ProvisioningResult:
+    """Apply ``metadata`` inside the guest, cloud-init semantics.
+
+    Provisioning is idempotent per instance-id: re-running with the
+    same marker (same instance) does not re-execute user data —
+    exactly what lets one image boot repeatedly and on either
+    substrate without re-running first-boot scripts.
+    """
+    marker = hashlib.sha256(metadata.instance_id.encode()).hexdigest()[:16]
+    first_boot = marker != previous_marker
+    keys_digest = hashlib.sha256(
+        "\n".join(sorted(metadata.ssh_public_keys)).encode()
+    ).hexdigest()[:16]
+    return ProvisioningResult(
+        hostname=metadata.hostname,
+        authorized_keys_digest=keys_digest,
+        interfaces_configured=len(metadata.network),
+        user_data_executed=first_boot and bool(metadata.user_data),
+        idempotency_marker=marker,
+    )

@@ -1,0 +1,74 @@
+"""VM images, shared between vm-guests and bm-guests.
+
+"From the user perspective, they only need to provide a VM image,
+which can be run as either a VM or a bm-guest" (Section 3.1) — the
+prerequisite for *cold migration* between service kinds. An image is a
+block-addressed artifact: bootloader sectors, a kernel, and a root
+filesystem, all stored in the cloud (most guests may not use local
+disks).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.virtio.blk import SECTOR_BYTES
+
+__all__ = ["VmImage", "BOOTLOADER_SECTOR", "KERNEL_SECTOR"]
+
+BOOTLOADER_SECTOR = 0
+BOOTLOADER_SECTORS = 8            # 4 KiB bootloader
+KERNEL_SECTOR = 2048              # kernel at the 1 MiB mark
+KERNEL_SECTORS = 16384            # 8 MiB kernel image
+
+
+@dataclass
+class VmImage:
+    """A bootable cloud image."""
+
+    name: str
+    kernel_version: str = "3.10.0-514.26.2.el7"
+    os_name: str = "CentOS 7"
+    size_sectors: int = 4 * 1024 * 1024 * 2  # 4 GiB
+    _sectors: Dict[int, bytes] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self):
+        seed = f"{self.name}:{self.kernel_version}".encode()
+        for i in range(BOOTLOADER_SECTORS):
+            self._sectors[BOOTLOADER_SECTOR + i] = self._synthetic_sector(seed, "boot", i)
+        # Store only the kernel's first and last sectors plus a digest;
+        # intermediate sectors are generated on demand.
+        for i in (0, KERNEL_SECTORS - 1):
+            self._sectors[KERNEL_SECTOR + i] = self._synthetic_sector(seed, "kernel", i)
+
+    @staticmethod
+    def _synthetic_sector(seed: bytes, region: str, index: int) -> bytes:
+        block = hashlib.sha256(seed + region.encode() + index.to_bytes(8, "little")).digest()
+        return (block * (SECTOR_BYTES // len(block) + 1))[:SECTOR_BYTES]
+
+    def read_sector(self, sector: int) -> bytes:
+        """Content of one 512-byte sector."""
+        if not 0 <= sector < self.size_sectors:
+            raise ValueError(f"sector {sector} outside image of {self.size_sectors}")
+        if sector in self._sectors:
+            return self._sectors[sector]
+        seed = f"{self.name}:{self.kernel_version}".encode()
+        return self._synthetic_sector(seed, "fs", sector)
+
+    @property
+    def bootloader_range(self) -> range:
+        return range(BOOTLOADER_SECTOR, BOOTLOADER_SECTOR + BOOTLOADER_SECTORS)
+
+    @property
+    def kernel_range(self) -> range:
+        return range(KERNEL_SECTOR, KERNEL_SECTOR + KERNEL_SECTORS)
+
+    def digest(self) -> str:
+        """Stable identity digest: same image -> same digest, either service."""
+        h = hashlib.sha256()
+        h.update(self.name.encode())
+        h.update(self.kernel_version.encode())
+        h.update(self.os_name.encode())
+        return h.hexdigest()

@@ -1,0 +1,102 @@
+"""Guest kernel cost model.
+
+Both guest kinds run "the same Centos-based Linux system... created
+from one VM image" (Section 4.2) — so the kernel-path costs here apply
+identically to bm- and vm-guests. What differs is what happens *under*
+the kernel: native hardware for the bm-guest, the KVM model's
+surcharges for the vm-guest.
+
+Costs are expressed in reference-CPU seconds (Xeon E5-2682 v4 == 1.0)
+and scaled by the executing CPU's single-thread index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.cpu import CpuSpec
+
+__all__ = ["KernelSpec", "GuestKernel"]
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Per-operation costs of the guest kernel (reference seconds)."""
+
+    syscall_s: float = 0.4e-6
+    udp_tx_s: float = 2.4e-6        # socket send -> driver xmit
+    udp_rx_s: float = 2.8e-6        # NAPI poll -> socket wakeup
+    tcp_tx_s: float = 3.2e-6
+    tcp_rx_s: float = 3.6e-6
+    tcp_handshake_s: float = 12e-6  # SYN/ACK processing, 3 segments
+    blk_submit_s: float = 2.0e-6    # block layer + virtio-blk driver
+    blk_complete_s: float = 1.6e-6
+    irq_handler_s: float = 1.0e-6
+    context_switch_s: float = 1.5e-6
+    vring_op_s: float = 0.15e-6     # add/reap one descriptor chain
+    copy_bytes_per_s: float = 6e9   # in-kernel memcpy bandwidth
+
+
+class GuestKernel:
+    """The kernel as seen by workloads: op costs on a specific CPU."""
+
+    def __init__(self, cpu_spec: CpuSpec, spec: KernelSpec = KernelSpec(),
+                 kernel_version: str = "3.10.0-514.26.2.el7"):
+        self.cpu_spec = cpu_spec
+        self.spec = spec
+        self.kernel_version = kernel_version
+
+    def _scaled(self, reference_seconds: float) -> float:
+        return reference_seconds / self.cpu_spec.single_thread_index
+
+    # -- network -----------------------------------------------------------
+    def udp_tx_time(self, nbytes: int) -> float:
+        return self._scaled(
+            self.spec.udp_tx_s + self.spec.vring_op_s + nbytes / self.spec.copy_bytes_per_s
+        )
+
+    def udp_rx_time(self, nbytes: int) -> float:
+        return self._scaled(
+            self.spec.udp_rx_s
+            + self.spec.irq_handler_s
+            + self.spec.vring_op_s
+            + nbytes / self.spec.copy_bytes_per_s
+        )
+
+    def tcp_tx_time(self, nbytes: int) -> float:
+        return self._scaled(
+            self.spec.tcp_tx_s + self.spec.vring_op_s + nbytes / self.spec.copy_bytes_per_s
+        )
+
+    def tcp_rx_time(self, nbytes: int) -> float:
+        return self._scaled(
+            self.spec.tcp_rx_s
+            + self.spec.irq_handler_s
+            + self.spec.vring_op_s
+            + nbytes / self.spec.copy_bytes_per_s
+        )
+
+    def tcp_connection_time(self) -> float:
+        """Kernel cost of a full connect/accept + teardown cycle."""
+        return self._scaled(self.spec.tcp_handshake_s + 2 * self.spec.context_switch_s)
+
+    # -- block -------------------------------------------------------------------
+    def blk_submit_time(self, nbytes: int) -> float:
+        return self._scaled(self.spec.blk_submit_s + self.spec.vring_op_s)
+
+    def blk_complete_time(self) -> float:
+        return self._scaled(
+            self.spec.blk_complete_s + self.spec.irq_handler_s + self.spec.vring_op_s
+        )
+
+    # -- misc -----------------------------------------------------------------------
+    def syscall_time(self) -> float:
+        return self._scaled(self.spec.syscall_s)
+
+    def bypass_tx_time(self, nbytes: int) -> float:
+        """DPDK-in-guest Tx: no kernel, just the PMD and the ring."""
+        return self._scaled(self.spec.vring_op_s + nbytes / (4 * self.spec.copy_bytes_per_s))
+
+    def bypass_rx_time(self, nbytes: int) -> float:
+        """DPDK-in-guest Rx: polling, no interrupt, no socket layer."""
+        return self._scaled(self.spec.vring_op_s + nbytes / (4 * self.spec.copy_bytes_per_s))

@@ -1,0 +1,43 @@
+"""Hardware substrate models: CPUs, memory, caches, PCIe, DMA, boards."""
+
+from repro.hw.board import BaseServer, Chassis, ChassisSpec, ComputeBoard, PowerState
+from repro.hw.cache import CacheSpec, SharedCache
+from repro.hw.cpu import CPU_CATALOG, Cpu, CpuSpec, cpu_spec
+from repro.hw.dma import DmaEngine, DmaEngineSpec, DmaTransferError
+from repro.hw.interrupts import InterruptSpec, MsiController
+from repro.hw.sgx import SgxDeployment, SgxEnclave, sgx_deployment_for
+from repro.hw.memory import STREAM_KERNELS, MemorySpec, MemorySubsystem
+from repro.hw.numa import NumaNode, NumaTopology, dual_socket, single_socket
+from repro.hw.pcie import GEN3_PER_LANE_GBPS, PcieLink, PcieLinkSpec
+
+__all__ = [
+    "Cpu",
+    "CpuSpec",
+    "CPU_CATALOG",
+    "cpu_spec",
+    "MemorySpec",
+    "SgxDeployment",
+    "SgxEnclave",
+    "sgx_deployment_for",
+    "MemorySubsystem",
+    "NumaNode",
+    "NumaTopology",
+    "single_socket",
+    "dual_socket",
+    "STREAM_KERNELS",
+    "CacheSpec",
+    "SharedCache",
+    "PcieLink",
+    "PcieLinkSpec",
+    "GEN3_PER_LANE_GBPS",
+    "DmaEngine",
+    "DmaTransferError",
+    "DmaEngineSpec",
+    "MsiController",
+    "InterruptSpec",
+    "ComputeBoard",
+    "BaseServer",
+    "Chassis",
+    "ChassisSpec",
+    "PowerState",
+]

@@ -1,0 +1,162 @@
+"""Compute boards, the base server, and the chassis power budget.
+
+A BM-Hive server is "a simplified Xeon-based server with 16 cores E5
+CPU" (the *base*) plus up to 16 PCIe *compute boards*, each carrying a
+dedicated CPU, memory, a PCIe interface, and an IO-Bond FPGA
+(Section 3.3). How many boards fit "depends on the server's power
+supply, internal space, and I/O performance" (Table 3 caption) — all
+three constraints are modelled in :class:`Chassis`.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.hw.cpu import Cpu, CpuSpec, cpu_spec
+from repro.hw.memory import MemorySpec, MemorySubsystem
+from repro.hw.pcie import PcieLink, PcieLinkSpec
+
+__all__ = ["PowerState", "ComputeBoard", "BaseServer", "Chassis", "ChassisSpec"]
+
+
+class PowerState(enum.Enum):
+    OFF = "off"
+    ON = "on"
+
+
+_board_ids = itertools.count(1)
+
+
+@dataclass
+class ComputeBoard:
+    """One tenant's dedicated hardware: CPU + memory + PCIe endpoint.
+
+    The board powers on when the bm-hypervisor enables its PCIe power
+    (Section 3.2 use scenario); its firmware then boots via virtio.
+    """
+
+    sim: object
+    cpu_model: str
+    memory_gib: int
+    fpga_watts: float = 20.0  # Intel Arria low-cost FPGA (Section 3.5)
+    sockets: int = 1
+    board_id: int = field(default_factory=lambda: next(_board_ids))
+    power: PowerState = PowerState.OFF
+    firmware_version: str = "1.0.0"
+
+    def __post_init__(self):
+        self.cpu_spec: CpuSpec = cpu_spec(self.cpu_model)
+        self.cpu = Cpu(self.sim, self.cpu_spec, sockets=self.sockets)
+        mem_spec = MemorySpec(
+            capacity_gib=self.memory_gib,
+            channels=self.cpu_spec.memory_channels,
+            speed_mts=self.cpu_spec.memory_speed_mts,
+        )
+        self.memory = MemorySubsystem(self.sim, mem_spec)
+        # The board's own PCIe bus, where IO-Bond's frontend lives.
+        self.pcie = PcieLink(self.sim, PcieLinkSpec(lanes=8), name=f"board{self.board_id}.pcie")
+
+    @property
+    def hyperthreads(self) -> int:
+        return self.cpu_spec.hyperthreads(self.sockets)
+
+    @property
+    def tdp_watts(self) -> float:
+        """Board TDP: CPU sockets plus the IO-Bond FPGA."""
+        return self.cpu_spec.tdp_watts * self.sockets + self.fpga_watts
+
+    def power_on(self) -> None:
+        if self.power is PowerState.ON:
+            raise RuntimeError(f"board {self.board_id} is already on")
+        self.power = PowerState.ON
+
+    def power_off(self) -> None:
+        if self.power is PowerState.OFF:
+            raise RuntimeError(f"board {self.board_id} is already off")
+        self.power = PowerState.OFF
+
+    @property
+    def is_on(self) -> bool:
+        return self.power is PowerState.ON
+
+
+@dataclass
+class BaseServer:
+    """The base board: runs the bm-hypervisor processes and the I/O stack."""
+
+    sim: object
+    cpu_model: str = "Xeon D base (16C)"
+    memory_gib: int = 64
+    nic_gbps: float = 100.0  # shared uplink to the cloud fabric
+
+    def __post_init__(self):
+        self.cpu_spec = cpu_spec(self.cpu_model)
+        self.cpu = Cpu(self.sim, self.cpu_spec)
+        # Base-side PCIe: IO-Bond exposes x8 per board to the hypervisor.
+        self.board_links: List[PcieLink] = []
+
+    def attach_board_link(self, name: str) -> PcieLink:
+        link = PcieLink(self.sim, PcieLinkSpec(lanes=8), name=name)
+        self.board_links.append(link)
+        return link
+
+    @property
+    def tdp_watts(self) -> float:
+        return self.cpu_spec.tdp_watts
+
+
+@dataclass(frozen=True)
+class ChassisSpec:
+    """Physical constraints that cap the number of compute boards."""
+
+    max_slots: int = 16
+    power_budget_watts: float = 2400.0
+    io_budget_gbps: float = 100.0  # shared uplink
+
+
+class Chassis:
+    """A BM-Hive server: one base plus admitted compute boards."""
+
+    def __init__(self, sim, spec: ChassisSpec = ChassisSpec(), base: Optional[BaseServer] = None):
+        self.sim = sim
+        self.spec = spec
+        self.base = base or BaseServer(sim)
+        self.boards: List[ComputeBoard] = []
+
+    @property
+    def power_draw_watts(self) -> float:
+        """TDP-level draw of the base plus all installed boards."""
+        return self.base.tdp_watts + sum(board.tdp_watts for board in self.boards)
+
+    def can_admit(self, board: ComputeBoard) -> bool:
+        if len(self.boards) >= self.spec.max_slots:
+            return False
+        return self.power_draw_watts + board.tdp_watts <= self.spec.power_budget_watts
+
+    def admit(self, board: ComputeBoard) -> None:
+        """Install a compute board, enforcing slot and power budgets."""
+        if len(self.boards) >= self.spec.max_slots:
+            raise RuntimeError(f"chassis full: {self.spec.max_slots} slots")
+        if self.power_draw_watts + board.tdp_watts > self.spec.power_budget_watts:
+            raise RuntimeError(
+                f"power budget exceeded: {self.power_draw_watts + board.tdp_watts:.0f}W "
+                f"> {self.spec.power_budget_watts:.0f}W"
+            )
+        self.boards.append(board)
+
+    def remove(self, board: ComputeBoard) -> None:
+        if board.is_on:
+            raise RuntimeError("cannot remove a powered-on board")
+        self.boards.remove(board)
+
+    @property
+    def sellable_hyperthreads(self) -> int:
+        return sum(board.hyperthreads for board in self.boards)
+
+    def max_boards(self, board_tdp_watts: float) -> int:
+        """How many identical boards fit, by slots and power."""
+        by_power = int((self.spec.power_budget_watts - self.base.tdp_watts) // board_tdp_watts)
+        return max(0, min(self.spec.max_slots, by_power))

@@ -1,0 +1,118 @@
+"""Last-level cache model.
+
+Two experiments need an LLC model:
+
+* the **security** experiments (Section 2.2): prime+probe leakage is
+  possible only between tenants that share an LLC (co-resident VMs),
+  and impossible between bm-guests on separate compute boards;
+* the **noisy neighbor** discussion (Section 2.1): a malicious VM can
+  slow co-residents down by flushing the shared cache.
+
+The model is a set-associative cache with per-tenant occupancy, good
+enough to demonstrate eviction-based channels and interference without
+simulating individual cache lines for whole workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["CacheSpec", "SharedCache"]
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Geometry of a set-associative cache."""
+
+    size_bytes: int
+    ways: int
+    line_bytes: int = 64
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+    def set_index(self, address: int) -> int:
+        return (address // self.line_bytes) % self.n_sets
+
+
+class SharedCache:
+    """A shared LLC tracking which tenant owns each way of each set.
+
+    Addresses are plain integers (guest-physical). A ``tenant`` is any
+    hashable identity; isolation experiments use guest names.
+    """
+
+    def __init__(self, spec: CacheSpec):
+        if spec.n_sets < 1:
+            raise ValueError("cache too small for its geometry")
+        self.spec = spec
+        # Per set: list of (tenant, tag) in LRU order (index 0 = LRU).
+        self._sets: List[List[tuple]] = [[] for _ in range(spec.n_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.evictions: Dict[object, int] = {}
+
+    def _tag(self, address: int) -> int:
+        return address // (self.spec.line_bytes * self.spec.n_sets)
+
+    def access(self, tenant, address: int) -> bool:
+        """Touch ``address``; returns True on hit, False on miss."""
+        line = self._sets[self.spec.set_index(address)]
+        tag = self._tag(address)
+        key = (tenant, tag)
+        for i, entry in enumerate(line):
+            if entry == key:
+                line.append(line.pop(i))  # promote to MRU
+                self.hits += 1
+                return True
+        # Miss: fill, evicting LRU if needed.
+        self.misses += 1
+        if len(line) >= self.spec.ways:
+            victim_tenant, _ = line.pop(0)
+            self.evictions[victim_tenant] = self.evictions.get(victim_tenant, 0) + 1
+        line.append(key)
+        return False
+
+    def occupancy(self, tenant) -> int:
+        """Number of lines currently owned by ``tenant``."""
+        return sum(1 for line in self._sets for (owner, _) in line if owner == tenant)
+
+    def flush_tenant(self, tenant) -> int:
+        """Drop every line owned by ``tenant``; returns lines dropped."""
+        dropped = 0
+        for i, line in enumerate(self._sets):
+            kept = [entry for entry in line if entry[0] != tenant]
+            dropped += len(line) - len(kept)
+            self._sets[i] = kept
+        return dropped
+
+    def prime(self, tenant, target_set: int) -> None:
+        """Fill every way of ``target_set`` with ``tenant``'s lines."""
+        if not 0 <= target_set < self.spec.n_sets:
+            raise ValueError(f"set index out of range: {target_set}")
+        stride = self.spec.line_bytes * self.spec.n_sets
+        base = target_set * self.spec.line_bytes
+        for way in range(self.spec.ways):
+            self.access(tenant, base + way * stride)
+
+    def probe(self, tenant, target_set: int) -> int:
+        """Re-touch the primed lines; returns the number of misses.
+
+        A non-zero miss count after a victim ran means the victim
+        evicted the attacker's lines from this set — the prime+probe
+        observation primitive.
+        """
+        stride = self.spec.line_bytes * self.spec.n_sets
+        base = target_set * self.spec.line_bytes
+        misses = 0
+        for way in range(self.spec.ways):
+            if not self.access(tenant, base + way * stride):
+                misses += 1
+        return misses
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0

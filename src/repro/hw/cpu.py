@@ -1,0 +1,197 @@
+"""CPU models and the processor catalog used across the paper.
+
+The paper's core cost/performance argument rests on concrete parts:
+
+* **Xeon E5-2682 v4** — the evaluation CPU for both bm- and vm-guests
+  (16 cores / 32 threads, 2.5 GHz base).
+* **Xeon E3-1240 v6** — the high-frequency bare-metal option; the paper
+  cites it as 31% faster single-thread than the E5-2682 v4.
+* **Core i7-8086K** — cited as 1.6x the single-thread CPU Mark of the
+  Xeon E5-2699 v4.
+* **Xeon Platinum 8160T** — the TDP reference for the power analysis.
+
+Single-thread indices are normalized so that the E5-2682 v4 equals 1.0;
+the published ratios above are preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.sim.resources import Resource
+
+__all__ = ["CpuSpec", "Cpu", "CPU_CATALOG", "cpu_spec"]
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Static description of a processor part."""
+
+    model: str
+    cores: int
+    threads: int
+    base_clock_ghz: float
+    single_thread_index: float
+    tdp_watts: float
+    llc_mb: float
+    memory_channels: int
+    memory_speed_mts: int
+    sockets_supported: int = 2
+
+    @property
+    def smt(self) -> int:
+        return self.threads // self.cores
+
+    def hyperthreads(self, sockets: int = 1) -> int:
+        return self.threads * sockets
+
+    def tdp_per_thread(self, sockets: int = 1) -> float:
+        return self.tdp_watts * sockets / self.hyperthreads(sockets)
+
+
+# Normalization anchor: Xeon E5-2682 v4 single-thread == 1.00.
+# The E3-1240 v6 ratio (1.31x) and the i7-8086K vs E5-2699 v4 ratio
+# (1.6x) come straight from the paper (Section 1 and 4.2).
+CPU_CATALOG: Dict[str, CpuSpec] = {
+    "Xeon E5-2682 v4": CpuSpec(
+        model="Xeon E5-2682 v4",
+        cores=16,
+        threads=32,
+        base_clock_ghz=2.5,
+        single_thread_index=1.00,
+        tdp_watts=120.0,
+        llc_mb=40.0,
+        memory_channels=4,
+        memory_speed_mts=2400,
+    ),
+    "Xeon E5-2699 v4": CpuSpec(
+        model="Xeon E5-2699 v4",
+        cores=22,
+        threads=44,
+        base_clock_ghz=2.2,
+        single_thread_index=0.96,
+        tdp_watts=145.0,
+        llc_mb=55.0,
+        memory_channels=4,
+        memory_speed_mts=2400,
+    ),
+    "Xeon E3-1240 v6": CpuSpec(
+        model="Xeon E3-1240 v6",
+        cores=4,
+        threads=8,
+        base_clock_ghz=3.7,
+        single_thread_index=1.31,
+        tdp_watts=72.0,
+        llc_mb=8.0,
+        memory_channels=2,
+        memory_speed_mts=2400,
+        sockets_supported=1,
+    ),
+    "Core i7-8086K": CpuSpec(
+        model="Core i7-8086K",
+        cores=6,
+        threads=12,
+        base_clock_ghz=4.0,
+        single_thread_index=1.54,  # 1.6 x E5-2699 v4 (0.96)
+        tdp_watts=95.0,
+        llc_mb=12.0,
+        memory_channels=2,
+        memory_speed_mts=2666,
+        sockets_supported=1,
+    ),
+    "Xeon Platinum 8160T": CpuSpec(
+        model="Xeon Platinum 8160T",
+        cores=24,
+        threads=48,
+        base_clock_ghz=2.1,
+        single_thread_index=1.02,
+        tdp_watts=150.0,
+        llc_mb=33.0,
+        memory_channels=6,
+        memory_speed_mts=2666,
+    ),
+    "Atom C3558": CpuSpec(
+        model="Atom C3558",
+        cores=4,
+        threads=4,
+        base_clock_ghz=2.2,
+        single_thread_index=0.45,
+        tdp_watts=16.0,
+        llc_mb=8.0,
+        memory_channels=2,
+        memory_speed_mts=2133,
+        sockets_supported=1,
+    ),
+    # The base board of a BM-Hive server: "a simplified Xeon-based
+    # server with 16 cores E5 CPU" (Section 3.3).
+    "Xeon D base (16C)": CpuSpec(
+        model="Xeon D base (16C)",
+        cores=16,
+        threads=16,
+        base_clock_ghz=2.2,
+        single_thread_index=0.85,
+        tdp_watts=65.0,
+        llc_mb=24.0,
+        memory_channels=2,
+        memory_speed_mts=2400,
+        sockets_supported=1,
+    ),
+}
+
+
+def cpu_spec(model: str) -> CpuSpec:
+    """Look up a catalog entry, with a helpful error on typos."""
+    try:
+        return CPU_CATALOG[model]
+    except KeyError:
+        known = ", ".join(sorted(CPU_CATALOG))
+        raise KeyError(f"unknown CPU model {model!r}; catalog has: {known}") from None
+
+
+@dataclass
+class Cpu:
+    """A socketed CPU instance tied to a simulator.
+
+    Exposes the processor as a pool of hardware threads
+    (:attr:`thread_pool`) plus helpers to convert abstract *work* into
+    simulated time. Work is expressed in **reference-seconds**: seconds
+    the work would take on one thread of the reference CPU
+    (E5-2682 v4). Faster parts shrink it via ``single_thread_index``.
+    """
+
+    sim: object
+    spec: CpuSpec
+    sockets: int = 1
+    thread_pool: Resource = field(init=False)
+
+    def __post_init__(self):
+        if self.sockets < 1 or self.sockets > self.spec.sockets_supported:
+            raise ValueError(
+                f"{self.spec.model} supports 1..{self.spec.sockets_supported} "
+                f"sockets, got {self.sockets}"
+            )
+        self.thread_pool = Resource(self.sim, capacity=self.spec.hyperthreads(self.sockets))
+
+    @property
+    def n_threads(self) -> int:
+        return self.spec.hyperthreads(self.sockets)
+
+    @property
+    def n_cores(self) -> int:
+        return self.spec.cores * self.sockets
+
+    def service_time(self, reference_seconds: float) -> float:
+        """Wall time for ``reference_seconds`` of single-thread work."""
+        if reference_seconds < 0:
+            raise ValueError(f"negative work: {reference_seconds}")
+        return reference_seconds / self.spec.single_thread_index
+
+    def execute(self, reference_seconds: float):
+        """Process: occupy one hardware thread for the scaled duration."""
+        req = self.thread_pool.request()
+        yield req
+        try:
+            yield self.sim.timeout(self.service_time(reference_seconds))
+        finally:
+            self.thread_pool.release()

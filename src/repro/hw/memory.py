@@ -1,0 +1,80 @@
+"""Memory subsystem model.
+
+Models the quantities behind the STREAM results (Fig 8): per-channel
+DDR bandwidth, the number of populated channels, and kernel-specific
+efficiency. Virtualization overhead (EPT walks stealing bandwidth and
+cycles) is applied by the hypervisor layer, not here — physical and
+bare-metal guests read this model natively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["MemorySpec", "MemorySubsystem", "STREAM_KERNELS"]
+
+# STREAM kernel properties: bytes moved per iteration element and the
+# fraction of peak channel bandwidth each kernel typically achieves on
+# a Broadwell-class Xeon (read/write mix and FP dependency differ).
+STREAM_KERNELS: Dict[str, Dict[str, float]] = {
+    "copy": {"bytes_per_element": 16.0, "efficiency": 0.86},
+    "scale": {"bytes_per_element": 16.0, "efficiency": 0.85},
+    "add": {"bytes_per_element": 24.0, "efficiency": 0.88},
+    "triad": {"bytes_per_element": 24.0, "efficiency": 0.88},
+}
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """Static description of a memory configuration."""
+
+    capacity_gib: int
+    channels: int
+    speed_mts: int  # mega-transfers/s, e.g. DDR4-2400 -> 2400
+    bus_bytes: int = 8
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Peak theoretical bandwidth in bytes/second across channels."""
+        return self.channels * self.speed_mts * 1e6 * self.bus_bytes
+
+
+class MemorySubsystem:
+    """A populated memory system attached to a CPU socket group."""
+
+    def __init__(self, sim, spec: MemorySpec):
+        self.sim = sim
+        self.spec = spec
+
+    @property
+    def peak_bandwidth(self) -> float:
+        return self.spec.peak_bandwidth
+
+    def stream_bandwidth(self, kernel: str, threads: int = 16) -> float:
+        """Achievable STREAM bandwidth in bytes/s for ``kernel``.
+
+        A single thread cannot saturate the channels; beyond ~8 threads
+        the channel limit dominates. This matches the paper's setup of
+        16 threads pinned across one socket.
+        """
+        try:
+            props = STREAM_KERNELS[kernel]
+        except KeyError:
+            known = ", ".join(sorted(STREAM_KERNELS))
+            raise KeyError(f"unknown STREAM kernel {kernel!r}; one of: {known}") from None
+        if threads < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
+        # Per-thread issue limit: one thread sustains roughly 12 GB/s of
+        # demand on this class of core; concurrency then hits the wall
+        # of the populated channels.
+        per_thread_limit = 12e9 * threads
+        channel_limit = self.peak_bandwidth * props["efficiency"]
+        return min(per_thread_limit, channel_limit)
+
+    def transfer_time(self, nbytes: float, kernel: str = "copy", threads: int = 16) -> float:
+        """Seconds to move ``nbytes`` with the given kernel profile."""
+        if nbytes < 0:
+            raise ValueError(f"negative byte count: {nbytes}")
+        bandwidth = self.stream_bandwidth(kernel, threads)
+        return nbytes / bandwidth

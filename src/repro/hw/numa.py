@@ -1,0 +1,120 @@
+"""NUMA topology model.
+
+Fig 7's bm-vs-physical gap comes from topology: the evaluation's
+physical machine is a dual-socket server ("two sockets of this CPU and
+384GB of RAM"), while every compute board is single-socket. On the
+dual-socket box, a share of memory traffic crosses the interconnect
+and pays the remote-access penalty; the board never does.
+
+:func:`memory_tax` derives the effective slowdown for a workload from
+the topology and its memory intensity — the quantity
+:class:`~repro.core.guests.PhysicalMachine` charges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+__all__ = ["NumaNode", "NumaTopology", "single_socket", "dual_socket"]
+
+# Broadwell-EP class numbers: remote DRAM access is ~1.6x local, and
+# on memory-heavy code with interleaved allocations roughly a quarter
+# of accesses end up remote even with first-touch placement (shared
+# pages, kernel structures, imbalanced allocation).
+REMOTE_ACCESS_PENALTY = 1.6
+DEFAULT_REMOTE_FRACTION = 0.125
+# Fraction of runtime that is memory-access-bound for a fully
+# memory-intensive workload (the rest still retires from cache).
+MEMORY_STALL_SHARE = 1.0
+
+
+@dataclass(frozen=True)
+class NumaNode:
+    """One socket + its locally attached memory."""
+
+    node_id: int
+    cores: int
+    memory_gib: int
+
+
+@dataclass(frozen=True)
+class NumaTopology:
+    """Nodes plus the (symmetric) normalized distance matrix.
+
+    Distances follow the SLIT convention: 1.0 local; remote entries
+    are the relative access-latency multiplier.
+    """
+
+    nodes: Tuple[NumaNode, ...]
+    distances: Tuple[Tuple[float, ...], ...]
+
+    def __post_init__(self):
+        n = len(self.nodes)
+        if len(self.distances) != n or any(len(row) != n for row in self.distances):
+            raise ValueError("distance matrix shape must match node count")
+        for i in range(n):
+            if self.distances[i][i] != 1.0:
+                raise ValueError("local distance must be 1.0")
+            for j in range(n):
+                if self.distances[i][j] != self.distances[j][i]:
+                    raise ValueError("distance matrix must be symmetric")
+                if self.distances[i][j] < 1.0:
+                    raise ValueError("remote distance cannot beat local")
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def is_uniform(self) -> bool:
+        return self.n_nodes == 1
+
+    def mean_remote_distance(self) -> float:
+        """Average remote multiplier (1.0 when single-node)."""
+        if self.is_uniform:
+            return 1.0
+        total, count = 0.0, 0
+        for i in range(self.n_nodes):
+            for j in range(self.n_nodes):
+                if i != j:
+                    total += self.distances[i][j]
+                    count += 1
+        return total / count
+
+    def memory_tax(self, memory_intensity: float,
+                   remote_fraction: float = DEFAULT_REMOTE_FRACTION) -> float:
+        """Fractional slowdown for a workload on this topology.
+
+        ``memory_intensity`` in [0, 1]; the tax is the expected extra
+        latency from the ``remote_fraction`` of accesses that cross
+        sockets, weighted by how memory-bound the code is.
+        """
+        if not 0.0 <= memory_intensity <= 1.0:
+            raise ValueError(f"memory_intensity out of [0,1]: {memory_intensity}")
+        if not 0.0 <= remote_fraction <= 1.0:
+            raise ValueError(f"remote_fraction out of [0,1]: {remote_fraction}")
+        if self.is_uniform:
+            return 0.0
+        extra_per_access = remote_fraction * (self.mean_remote_distance() - 1.0)
+        return memory_intensity * MEMORY_STALL_SHARE * extra_per_access
+
+
+def single_socket(cores: int = 16, memory_gib: int = 64) -> NumaTopology:
+    """A compute board: one node, no remote memory at all."""
+    return NumaTopology(
+        nodes=(NumaNode(0, cores, memory_gib),),
+        distances=((1.0,),),
+    )
+
+
+def dual_socket(cores_per_socket: int = 16, memory_gib_per_socket: int = 192,
+                remote_penalty: float = REMOTE_ACCESS_PENALTY) -> NumaTopology:
+    """The evaluation's physical machine: two sockets over QPI."""
+    return NumaTopology(
+        nodes=(
+            NumaNode(0, cores_per_socket, memory_gib_per_socket),
+            NumaNode(1, cores_per_socket, memory_gib_per_socket),
+        ),
+        distances=((1.0, remote_penalty), (remote_penalty, 1.0)),
+    )

@@ -1,0 +1,98 @@
+"""SGX trusted-execution support (Section 6).
+
+"SGX is becoming increasingly popular for cloud users from finance,
+stock trading, and e-commerce... The current design of SGX does not
+work well in virtual machines. For example, the KVM hypervisor and
+QEMU require special builds with the SGX SDK and the guest kernel
+requires additional drivers. We plan to add native support to SGX in
+BM-Hive so that users can directly migrate their SGX code to the
+bare-metal service without additional efforts."
+
+The model captures the deployment matrix (what is required where) and
+the enclave-transition cost difference: on a vm-guest, every
+enclave entry/exit (EENTER/EEXIT/AEX) interacts with the
+virtualization layer, while on a bm-guest it is native.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["SgxDeployment", "SgxEnclave", "sgx_deployment_for"]
+
+# Native EENTER+EEXIT round trip on Skylake-class parts.
+NATIVE_TRANSITION_S = 3.6e-6
+
+
+@dataclass(frozen=True)
+class SgxDeployment:
+    """What running SGX code requires on one service kind."""
+
+    service: str
+    supported: bool
+    requirements: List[str]
+    transition_time_s: float
+
+    @property
+    def works_out_of_the_box(self) -> bool:
+        return self.supported and not self.requirements
+
+
+def sgx_deployment_for(guest_kind: str, kvm_exit_cost_s: float = 10e-6) -> SgxDeployment:
+    """The SGX support matrix for a guest kind."""
+    if guest_kind == "bm":
+        # Native CPU: enclaves run exactly as on a physical machine.
+        return SgxDeployment(
+            service="bm-guest",
+            supported=True,
+            requirements=[],
+            transition_time_s=NATIVE_TRANSITION_S,
+        )
+    if guest_kind == "vm":
+        # Virtualized SGX needs the whole special-build chain, and AEX
+        # events (interrupts during enclave execution) cost a VM exit.
+        return SgxDeployment(
+            service="vm-guest",
+            supported=True,
+            requirements=[
+                "KVM built with SGX virtualization patches",
+                "QEMU built with the SGX SDK",
+                "guest kernel SGX driver",
+                "EPC (enclave page cache) carve-out on the host",
+            ],
+            transition_time_s=NATIVE_TRANSITION_S + kvm_exit_cost_s,
+        )
+    if guest_kind == "physical":
+        return SgxDeployment(
+            service="physical machine",
+            supported=True,
+            requirements=[],
+            transition_time_s=NATIVE_TRANSITION_S,
+        )
+    raise ValueError(f"unknown guest kind {guest_kind!r}")
+
+
+@dataclass
+class SgxEnclave:
+    """A running enclave accounting its transition overhead."""
+
+    deployment: SgxDeployment
+    transitions: int = 0
+    time_in_transitions_s: float = field(default=0.0)
+
+    def call(self, work_s: float, n_ocalls: int = 0) -> float:
+        """One ECALL with ``n_ocalls`` nested OCALLs; returns wall time.
+
+        Each ECALL is an EENTER/EEXIT pair; each OCALL adds another
+        exit/re-enter round trip.
+        """
+        if not self.deployment.supported:
+            raise RuntimeError(f"SGX unsupported on {self.deployment.service}")
+        if work_s < 0 or n_ocalls < 0:
+            raise ValueError("work and ocalls must be non-negative")
+        round_trips = 1 + n_ocalls
+        overhead = round_trips * self.deployment.transition_time_s
+        self.transitions += round_trips
+        self.time_in_transitions_s += overhead
+        return work_s + overhead

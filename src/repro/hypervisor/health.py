@@ -1,0 +1,88 @@
+"""Board health monitoring and recovery.
+
+The bm-hypervisor "controls [the guests'] execution via the PCIe
+interface" (Section 1) — including noticing when a board stops
+responding. The watchdog polls a heartbeat register exposed through
+IO-Bond's mailbox path; after ``misses_before_reset`` silent periods
+it power-cycles the board, exactly the remediation an operator expects
+from a managed bare-metal service.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["BoardHealth", "Watchdog", "WatchdogSpec"]
+
+
+class BoardHealth(enum.Enum):
+    HEALTHY = "healthy"
+    SUSPECT = "suspect"
+    RESET = "reset"
+
+
+@dataclass(frozen=True)
+class WatchdogSpec:
+    heartbeat_interval_s: float = 1.0
+    misses_before_reset: int = 3
+    reset_hold_s: float = 5.0  # PCIe power off/on dwell
+
+
+@dataclass
+class Watchdog:
+    """Heartbeat watchdog for one compute board."""
+
+    sim: object
+    board: object
+    spec: WatchdogSpec = field(default_factory=WatchdogSpec)
+    state: BoardHealth = BoardHealth.HEALTHY
+    missed: int = 0
+    resets: int = 0
+    history: List[BoardHealth] = field(default_factory=list)
+    _alive: bool = True
+
+    def heartbeat(self) -> None:
+        """The board's firmware pings this each interval while alive."""
+        self.missed = 0
+        if self.state is not BoardHealth.HEALTHY:
+            self.state = BoardHealth.HEALTHY
+        self.history.append(self.state)
+
+    def hang(self) -> None:
+        """Test hook: the guest wedges and heartbeats stop."""
+        self._alive = False
+
+    def revive(self) -> None:
+        self._alive = True
+
+    def monitor(self, periods: int):
+        """Process: run ``periods`` heartbeat checks.
+
+        Each period, a healthy board heartbeats; a hung one misses.
+        After ``misses_before_reset`` consecutive misses the board is
+        power-cycled, which also un-wedges it (fresh boot).
+        """
+        for _ in range(periods):
+            yield self.sim.timeout(self.spec.heartbeat_interval_s)
+            if self._alive:
+                self.heartbeat()
+                continue
+            self.missed += 1
+            self.state = BoardHealth.SUSPECT
+            self.history.append(self.state)
+            if self.missed >= self.spec.misses_before_reset:
+                yield from self._reset()
+
+    def _reset(self):
+        self.state = BoardHealth.RESET
+        self.history.append(self.state)
+        if self.board.is_on:
+            self.board.power_off()
+        yield self.sim.timeout(self.spec.reset_hold_s)
+        self.board.power_on()
+        self.resets += 1
+        self.missed = 0
+        self._alive = True  # the fresh boot heartbeats again
+        self.state = BoardHealth.HEALTHY

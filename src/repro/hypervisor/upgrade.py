@@ -1,0 +1,110 @@
+"""Live upgrade of the bm-hypervisor (Section 6, via Orthus).
+
+"The design of BM-Hive makes it straightforward to apply the live
+upgrade approach proposed in Orthus [ASPLOS'19] because it is mostly a
+subset of the full VMM software stack."
+
+The upgrade swaps the user-space bm-hypervisor process under a running
+guest without halting it: quiesce the poll loop, capture the
+shadow-vring cursors and device state, start the new build, restore,
+resume. The guest only observes a brief service gap on its virtio
+backends — no reboot, no reconnection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.hypervisor.bm import BmHypervisor, BmHypervisorSpec, GuestState
+
+__all__ = ["HypervisorState", "LiveUpgradeRecord", "live_upgrade"]
+
+QUIESCE_S = 2e-3      # drain in-flight backend work
+EXEC_NEW_BUILD_S = 60e-3  # fork+exec the new binary, map hugepages
+RESTORE_S = 1e-3      # replay cursors, re-arm the poll loop
+
+
+@dataclass
+class HypervisorState:
+    """Serialized bm-hypervisor state handed across the upgrade."""
+
+    guest_name: str
+    guest_state: GuestState
+    ring_cursors: Dict[str, Dict[str, int]]
+    handlers: Dict = field(default_factory=dict)
+
+    @classmethod
+    def capture(cls, hypervisor: BmHypervisor) -> "HypervisorState":
+        cursors: Dict[str, Dict[str, int]] = {}
+        for port_name, port in hypervisor.bond.ports.items():
+            for queue_index, shadow in port.shadows.items():
+                cursors[f"{port_name}.q{queue_index}"] = {
+                    "head": shadow.registers.head,
+                    "tail": shadow.registers.tail,
+                }
+        return cls(
+            guest_name=hypervisor.guest_name,
+            guest_state=hypervisor.state,
+            ring_cursors=cursors,
+            handlers=dict(hypervisor._handlers),
+        )
+
+    def restore_into(self, hypervisor: BmHypervisor) -> None:
+        hypervisor.state = self.guest_state
+        for key, handler in self.handlers.items():
+            hypervisor.register_handler(key[0], key[1], handler)
+
+
+@dataclass
+class LiveUpgradeRecord:
+    """Outcome of one live hypervisor upgrade."""
+
+    guest_name: str
+    old_version: str
+    new_version: str
+    service_gap_s: float
+    guest_stayed_running: bool
+    cursors_preserved: bool
+
+
+def live_upgrade(sim, hypervisor: BmHypervisor, new_version: str = "2.0"):
+    """Process: replace a guest's bm-hypervisor process in place.
+
+    Returns ``(new_hypervisor, LiveUpgradeRecord)``. The guest's board
+    never power-cycles and its rings keep their positions.
+    """
+    if hypervisor.state is GuestState.STOPPED:
+        raise RuntimeError("nothing to upgrade: the guest is stopped")
+    old_version = getattr(hypervisor, "version", "1.0")
+    start = sim.now
+
+    # 1. Quiesce: stop the poll loop after it drains current entries.
+    yield sim.timeout(QUIESCE_S)
+    hypervisor.stop()
+    state = HypervisorState.capture(hypervisor)
+
+    # 2. Launch the new build against the same IO-Bond.
+    yield sim.timeout(EXEC_NEW_BUILD_S)
+    replacement = BmHypervisor(
+        sim, hypervisor.bond, guest_name=hypervisor.guest_name,
+        spec=BmHypervisorSpec(),
+    )
+    replacement.version = new_version
+
+    # 3. Restore state and resume polling.
+    state.restore_into(replacement)
+    yield sim.timeout(RESTORE_S)
+    if replacement.state is GuestState.RUNNING:
+        replacement.start()
+
+    cursors_after = HypervisorState.capture(replacement).ring_cursors
+    record = LiveUpgradeRecord(
+        guest_name=hypervisor.guest_name,
+        old_version=old_version,
+        new_version=new_version,
+        service_gap_s=sim.now - start,
+        guest_stayed_running=state.guest_state is GuestState.RUNNING,
+        cursors_preserved=cursors_after == state.ring_cursors,
+    )
+    return replacement, record

@@ -1,0 +1,33 @@
+"""IO-Bond: the FPGA/ASIC bridge between compute board and base server."""
+
+from repro.iobond.bond import (
+    ASIC_HOP_LATENCY,
+    FPGA_HOP_LATENCY,
+    IoBond,
+    IoBondPort,
+    IoBondSpec,
+)
+from repro.iobond.offload import (
+    OFFLOADABLE_STAGES,
+    OffloadPlan,
+    OffloadStage,
+    base_cores_required,
+)
+from repro.iobond.registers import HeadTailRegisters, MailboxPair
+from repro.iobond.shadow import ShadowEntry, ShadowVring
+
+__all__ = [
+    "IoBond",
+    "IoBondPort",
+    "IoBondSpec",
+    "FPGA_HOP_LATENCY",
+    "ASIC_HOP_LATENCY",
+    "MailboxPair",
+    "HeadTailRegisters",
+    "ShadowVring",
+    "ShadowEntry",
+    "OffloadPlan",
+    "OffloadStage",
+    "OFFLOADABLE_STAGES",
+    "base_cores_required",
+]

@@ -1,0 +1,101 @@
+"""IO-Bond packet-processing offload (Section 6).
+
+"We plan to add more network-related functions in IO-Bond to offload
+the packet processing from the bm-hypervisor so that lower-cost CPUs
+can be used by the base."
+
+The model quantifies exactly that trade: with classification /
+header-rewrite / rate-limit enforcement moved into the FPGA, the
+base CPU's per-packet work shrinks, and the number of base cores
+needed to serve a fully-populated chassis at line rate drops — which
+is what lets the operator fit a cheaper base part.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["OffloadStage", "OffloadPlan", "base_cores_required", "OFFLOADABLE_STAGES"]
+
+
+@dataclass(frozen=True)
+class OffloadStage:
+    """One network function that can live in software or the FPGA."""
+
+    name: str
+    software_cost_s: float   # per packet on a base core
+    fpga_cost_s: float       # per packet in the FPGA pipeline
+    fpga_gates_kles: float   # logic cost of offloading it (kLEs)
+
+
+OFFLOADABLE_STAGES: List[OffloadStage] = [
+    OffloadStage("vring entry handling", 50e-9, 8e-9, 30.0),
+    OffloadStage("flow classification", 45e-9, 6e-9, 55.0),
+    OffloadStage("header rewrite (VXLAN)", 35e-9, 5e-9, 40.0),
+    OffloadStage("rate-limit enforcement", 20e-9, 3e-9, 15.0),
+    OffloadStage("checksum/validation", 25e-9, 2e-9, 20.0),
+]
+
+
+@dataclass
+class OffloadPlan:
+    """A chosen split of the packet pipeline between base and FPGA."""
+
+    offloaded: List[str]
+
+    def __post_init__(self):
+        known = {stage.name for stage in OFFLOADABLE_STAGES}
+        unknown = set(self.offloaded) - known
+        if unknown:
+            raise ValueError(f"unknown stages: {sorted(unknown)}; known: {sorted(known)}")
+
+    @property
+    def software_cost_per_packet_s(self) -> float:
+        return sum(
+            stage.software_cost_s
+            for stage in OFFLOADABLE_STAGES
+            if stage.name not in self.offloaded
+        )
+
+    @property
+    def fpga_cost_per_packet_s(self) -> float:
+        return sum(
+            stage.fpga_cost_s
+            for stage in OFFLOADABLE_STAGES
+            if stage.name in self.offloaded
+        )
+
+    @property
+    def fpga_gates_kles(self) -> float:
+        return sum(
+            stage.fpga_gates_kles
+            for stage in OFFLOADABLE_STAGES
+            if stage.name in self.offloaded
+        )
+
+    @classmethod
+    def none(cls) -> "OffloadPlan":
+        """Today's deployment: everything in the bm-hypervisor."""
+        return cls(offloaded=[])
+
+    @classmethod
+    def full(cls) -> "OffloadPlan":
+        """The Section 6 target: the whole pipeline in the FPGA."""
+        return cls(offloaded=[stage.name for stage in OFFLOADABLE_STAGES])
+
+
+def base_cores_required(plan: OffloadPlan, guests: int = 16,
+                        pps_per_guest: float = 4e6,
+                        core_utilization_cap: float = 0.7) -> int:
+    """Base CPU cores needed to serve ``guests`` at their PPS caps.
+
+    A core can spend at most ``core_utilization_cap`` of its cycles on
+    packet work (the rest goes to SPDK, control plane, and headroom).
+    """
+    if guests < 1 or pps_per_guest <= 0:
+        raise ValueError("guests and pps_per_guest must be positive")
+    total_pps = guests * pps_per_guest
+    busy_per_second = total_pps * plan.software_cost_per_packet_s
+    cores = busy_per_second / core_utilization_cap
+    return max(1, int(cores) + (cores % 1 > 0))

@@ -1,0 +1,78 @@
+"""IO-Bond's base-side register interface.
+
+"The bm-hypervisor communicates with IO-Bond with a pair of mailbox
+registers for PCI accessing notification and a pair of head/tail
+registers for each shadow vring" (Section 3.4.3). There are *no
+interrupts* on this side: a dedicated thread in the bm-hypervisor polls
+these registers (PMD style).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional, Tuple
+
+__all__ = ["MailboxPair", "HeadTailRegisters"]
+
+
+@dataclass
+class MailboxPair:
+    """Request/response mailbox for forwarded PCI accesses.
+
+    The guest's PCI config/register accesses are "directly forwarded to
+    the back-end for processing" (Section 3.4.1); the forward lands in
+    the request mailbox, the bm-hypervisor's emulation result comes
+    back through the response mailbox.
+    """
+
+    request: Deque[Tuple] = field(default_factory=deque)
+    response: Deque[Tuple] = field(default_factory=deque)
+
+    def post_request(self, access: Tuple) -> None:
+        self.request.append(access)
+
+    def poll_request(self) -> Optional[Tuple]:
+        """Backend side: take one pending forwarded access, or None."""
+        return self.request.popleft() if self.request else None
+
+    def post_response(self, result: Tuple) -> None:
+        self.response.append(result)
+
+    def poll_response(self) -> Optional[Tuple]:
+        return self.response.popleft() if self.response else None
+
+    @property
+    def has_pending(self) -> bool:
+        return bool(self.request)
+
+
+@dataclass
+class HeadTailRegisters:
+    """Producer/consumer cursors for one shadow vring.
+
+    ``head`` is advanced by IO-Bond when it has synchronized new
+    guest-posted buffers into the shadow vring ("IO-Bond notifies
+    bm-hypervisor by updating its head register"). ``tail`` is advanced
+    by the bm-hypervisor when it has consumed/completed entries.
+    """
+
+    head: int = 0
+    tail: int = 0
+
+    def publish(self, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError(f"negative publish count: {count}")
+        self.head += count
+
+    def consume(self, count: int = 1) -> None:
+        if self.tail + count > self.head:
+            raise RuntimeError(
+                f"tail would pass head: tail={self.tail}+{count} > head={self.head}"
+            )
+        self.tail += count
+
+    @property
+    def pending(self) -> int:
+        """Entries published but not yet consumed."""
+        return self.head - self.tail

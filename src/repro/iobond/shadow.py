@@ -1,0 +1,148 @@
+"""Shadow vrings: the base-side mirror of each guest virtqueue.
+
+"The front- and back-end of IO-Bond do not share the physical memory...
+IO-Bond creates a ring buffer with both the bm-hypervisor and bm-guest.
+The ring buffer with the bm-hypervisor (shadow vring) is synchronized
+to the other ring buffer. When the data is added to one ring buffer, it
+is copied to the other buffer by the DMA engine in IO-Bond" (Fig 4,
+Section 3.4.1).
+
+A :class:`ShadowVring` pairs a guest-side :class:`~repro.virtio.vring.
+VirtQueue` with a base-side buffer list and owns the head/tail
+registers the bm-hypervisor polls.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional, Tuple
+
+from repro.iobond.registers import HeadTailRegisters
+from repro.virtio.vring import DescriptorChain, VirtQueue
+
+__all__ = ["ShadowVring", "ShadowEntry"]
+
+
+@dataclass
+class ShadowEntry:
+    """One synchronized buffer in the shadow vring.
+
+    ``payload`` is the device-readable data copied from guest memory
+    (Tx frames, blk write payloads); ``writable_bytes`` is the guest-
+    side capacity for device-written data (Rx buffers, blk reads).
+    """
+
+    guest_head: int
+    payload: bytes
+    writable_bytes: int
+
+
+class ShadowVring:
+    """Base-side mirror of one guest virtqueue plus its registers."""
+
+    def __init__(self, guest_vq: VirtQueue, name: str = "shadow"):
+        self.guest_vq = guest_vq
+        self.name = name
+        self.registers = HeadTailRegisters()
+        self._entries: Deque[ShadowEntry] = deque()
+        # Completions queued by the backend, waiting for IO-Bond to DMA
+        # them back into guest memory: (guest_head, device_payload).
+        self._completions: Deque[Tuple[int, bytes]] = deque()
+        self._staged_chains = _ChainMap()
+        self.synced_to_shadow = 0
+        self.synced_to_guest = 0
+
+    # -- guest -> shadow (IO-Bond sync after a guest kick) -------------------
+    def stage_from_guest(self) -> Tuple[int, int]:
+        """Resolve all newly-available guest chains into shadow entries.
+
+        Returns ``(n_entries, payload_bytes)`` so the caller (IO-Bond)
+        can charge the DMA time for the copy, then call
+        :meth:`publish_staged`.
+        """
+        staged = 0
+        payload_bytes = 0
+        while True:
+            chain = self.guest_vq.pop_avail()
+            if chain is None:
+                break
+            payload = self.guest_vq.read_chain(chain)
+            entry = ShadowEntry(
+                guest_head=chain.head,
+                payload=payload,
+                writable_bytes=chain.writable_bytes,
+            )
+            self._entries.append(entry)
+            # Writable capacity costs only descriptor metadata to sync;
+            # readable payload is the data the DMA engine must move.
+            payload_bytes += len(payload) + 16
+            staged += 1
+            self._staged_chains.append(chain)
+        self.synced_to_shadow += staged
+        return staged, payload_bytes
+
+    def publish_staged(self, count: int) -> None:
+        """Advance the head register so the backend's poll sees entries."""
+        self.registers.publish(count)
+
+    # -- backend side ------------------------------------------------------------
+    def backend_poll(self) -> Optional[ShadowEntry]:
+        """Backend: consume one published entry, or None."""
+        if self.registers.pending <= 0 or not self._entries:
+            return None
+        self.registers.consume(1)
+        return self._entries.popleft()
+
+    def backend_complete(self, guest_head: int, payload: bytes = b"") -> None:
+        """Backend: queue a completion for DMA back to the guest."""
+        self._completions.append((guest_head, payload))
+
+    # -- shadow -> guest (IO-Bond writes back and fires MSI) -----------------------
+    def stage_to_guest(self) -> Tuple[int, int]:
+        """Peek at pending completions: ``(count, payload_bytes)``."""
+        return (
+            len(self._completions),
+            sum(len(payload) for _, payload in self._completions) + 4 * len(self._completions),
+        )
+
+    def flush_to_guest(self) -> int:
+        """Write all completions into guest memory and the used ring.
+
+        Returns the number of completions delivered. The caller charges
+        DMA time first (using :meth:`stage_to_guest`).
+        """
+        delivered = 0
+        while self._completions:
+            guest_head, payload = self._completions.popleft()
+            chain = self._chain_for_head(guest_head)
+            written = 0
+            if payload:
+                written = self.guest_vq.write_chain(chain, payload)
+            self.guest_vq.push_used(guest_head, written)
+            delivered += 1
+        self.synced_to_guest += delivered
+        return delivered
+
+    # -- bookkeeping ---------------------------------------------------------------
+    def _chain_for_head(self, head: int) -> DescriptorChain:
+        chain = self._staged_chains.pop(head)
+        if chain is None:
+            raise KeyError(f"no in-flight chain with head {head}")
+        return chain
+
+
+class _ChainMap:
+    """In-flight chains by head index, preserving append order."""
+
+    def __init__(self):
+        self._map = {}
+
+    def append(self, chain: DescriptorChain) -> None:
+        self._map[chain.head] = chain
+
+    def pop(self, head: int) -> Optional[DescriptorChain]:
+        return self._map.pop(head, None)
+
+    def __len__(self) -> int:
+        return len(self._map)

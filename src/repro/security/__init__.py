@@ -1,0 +1,21 @@
+"""Security experiments: side channels, DoS, firmware, attack surface."""
+
+from repro.security.dos import DosResult, cache_thrash_attack
+from repro.security.sidechannel import SideChannelResult, prime_probe_attack
+from repro.security.surface import (
+    BM_HIVE_SURFACE,
+    KVM_SURFACE,
+    AttackSurface,
+    Component,
+)
+
+__all__ = [
+    "prime_probe_attack",
+    "SideChannelResult",
+    "cache_thrash_attack",
+    "DosResult",
+    "AttackSurface",
+    "Component",
+    "KVM_SURFACE",
+    "BM_HIVE_SURFACE",
+]

@@ -1,0 +1,85 @@
+"""Noisy-neighbor cache DoS (Section 2.1).
+
+"A malicious VM can substantially slow-down other co-resident VMs by
+repeatedly flushing the shared (L3) CPU cache with its own data." On
+BM-Hive the attacker's board has its own cache, so the victim's hit
+rate is untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.cache import CacheSpec, SharedCache
+
+__all__ = ["DosResult", "cache_thrash_attack"]
+
+DEFAULT_CACHE = CacheSpec(size_bytes=1 << 20, ways=16)
+
+
+@dataclass
+class DosResult:
+    """Victim hit rates with and without the attacker running."""
+
+    co_resident: bool
+    baseline_hit_rate: float
+    under_attack_hit_rate: float
+
+    @property
+    def slowdown_factor(self) -> float:
+        """Relative memory-stall increase implied by the lost hits.
+
+        A miss costs ~10x a hit on this class of hardware; the factor
+        compares stall cycles under attack to baseline.
+        """
+        miss_cost = 10.0
+
+        def stalls(hit_rate: float) -> float:
+            return hit_rate + (1.0 - hit_rate) * miss_cost
+
+        return stalls(self.under_attack_hit_rate) / stalls(self.baseline_hit_rate)
+
+
+def _victim_pass(cache: SharedCache, n_lines: int, spec: CacheSpec) -> tuple:
+    """One pass over the victim's working set; returns (hits, accesses)."""
+    hits = 0
+    for i in range(n_lines):
+        if cache.access("victim", i * spec.line_bytes):
+            hits += 1
+    return hits, n_lines
+
+
+def _attacker_thrash(cache: SharedCache, spec: CacheSpec, intensity: int = 2) -> None:
+    """The attacker streams a cache-sized buffer ``intensity`` times."""
+    total_lines = spec.n_sets * spec.ways
+    for rep in range(intensity):
+        for i in range(total_lines):
+            cache.access("attacker", (1 << 30) + i * spec.line_bytes)
+
+
+def cache_thrash_attack(sim, co_resident: bool = True,
+                        spec: CacheSpec = DEFAULT_CACHE,
+                        working_set_lines: int = 2048,
+                        passes: int = 6) -> DosResult:
+    """Measure the victim's hit rate with a cache-thrashing neighbor."""
+    victim_cache = SharedCache(spec)
+    attacker_cache = victim_cache if co_resident else SharedCache(spec)
+
+    # Warm the victim's working set, then measure the baseline.
+    _victim_pass(victim_cache, working_set_lines, spec)
+    hits, accesses = _victim_pass(victim_cache, working_set_lines, spec)
+    baseline = hits / accesses
+
+    # Attack: interleave thrashing with the victim's passes.
+    total_hits = 0
+    total_accesses = 0
+    for _ in range(passes):
+        _attacker_thrash(attacker_cache, spec)
+        hits, accesses = _victim_pass(victim_cache, working_set_lines, spec)
+        total_hits += hits
+        total_accesses += accesses
+    return DosResult(
+        co_resident=co_resident,
+        baseline_hit_rate=baseline,
+        under_attack_hit_rate=total_hits / total_accesses,
+    )

@@ -1,0 +1,47 @@
+"""Discrete-event simulation kernel.
+
+The kernel is the substrate for every hardware and software model in
+this reproduction: generator-based processes, an event heap, shared
+resources, token-bucket rate limiters, named random streams, and
+latency/throughput collectors.
+"""
+
+from repro.sim.core import Simulator
+from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
+from repro.sim.process import Process
+from repro.sim.resources import Resource, Store, TokenBucket
+from repro.sim.trace import PointEvent, Span, Tracer
+from repro.sim.stats import (
+    LatencyRecorder,
+    LatencySummary,
+    ThroughputMeter,
+    TimeWeightedStat,
+    from_gbps,
+    gbps,
+    mib_per_s,
+    summarize,
+)
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "Store",
+    "TokenBucket",
+    "LatencyRecorder",
+    "LatencySummary",
+    "ThroughputMeter",
+    "TimeWeightedStat",
+    "summarize",
+    "gbps",
+    "from_gbps",
+    "mib_per_s",
+    "Tracer",
+    "Span",
+    "PointEvent",
+]

@@ -1,0 +1,106 @@
+"""Generator-backed simulation processes.
+
+A :class:`Process` drives a generator: each value the generator yields
+must be an :class:`~repro.sim.events.Event`; the process sleeps until
+that event fires, then resumes with the event's value (or with the
+event's exception raised at the yield point).
+
+A process is itself an event — it fires with the generator's return
+value — so processes can wait on each other by yielding a process.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.events import Event, Interrupt
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """A running simulation process.
+
+    Do not instantiate directly; use :meth:`repro.sim.Simulator.spawn`.
+    """
+
+    def __init__(self, sim, generator: Generator, name: str = ""):
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise TypeError(
+                f"spawn() needs a generator, got {type(generator).__name__}; "
+                "did you forget to call the process function?"
+            )
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        # Bootstrap: resume on the next kernel step.
+        start = Event(sim)
+        start.add_callback(self._resume)
+        start.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting on."""
+        return self._target
+
+    # -- interruption -------------------------------------------------------
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise :class:`Interrupt` inside the process at its yield point.
+
+        Used by scheduler models to preempt a running task. Interrupting
+        a finished process is an error; interrupting a process twice
+        before it handles the first interrupt is allowed (interrupts
+        queue as separate resume events).
+        """
+        if self.triggered:
+            raise RuntimeError(f"cannot interrupt finished process {self.name!r}")
+        event = Event(self.sim)
+        event._urgent = True
+        event.add_callback(self._resume)
+        event.fail(Interrupt(cause))
+
+    # -- kernel resume path ---------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            # Races are possible when an interrupt lands after the target
+            # fired in the same step; the process is already done.
+            return
+        if (
+            self._target is not None
+            and event is not self._target
+            and not getattr(event, "_urgent", False)
+        ):
+            # Stale wake-up: the process was interrupted away from this
+            # target and is now waiting on something else.
+            return
+        self.sim._active_process = self
+        try:
+            if event.ok:
+                next_target = self._generator.send(event.value)
+            else:
+                next_target = self._generator.throw(event.value)
+        except StopIteration as stop:
+            self._target = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # propagate to joiners
+            self._target = None
+            self.fail(exc)
+            return
+        finally:
+            self.sim._active_process = None
+        if not isinstance(next_target, Event):
+            error = TypeError(
+                f"process {self.name!r} yielded {next_target!r}; "
+                "processes must yield Event instances"
+            )
+            self._generator.close()
+            self.fail(error)
+            return
+        self._target = next_target
+        next_target.add_callback(self._resume)

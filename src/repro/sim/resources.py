@@ -1,0 +1,212 @@
+"""Shared-resource primitives built on the event kernel.
+
+These are the queueing building blocks used by the hardware and
+hypervisor models:
+
+* :class:`Resource` — counted resource with FIFO waiters (CPU cores,
+  DMA channels, PCIe tags).
+* :class:`Store` — FIFO buffer of items with blocking get/put
+  (virtqueue back-pressure, NIC queues).
+* :class:`TokenBucket` — rate limiter (PPS / bandwidth / IOPS caps as
+  deployed in the paper's cloud).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.sim.events import Event
+
+__all__ = ["Resource", "Store", "TokenBucket"]
+
+
+class Resource:
+    """A resource with ``capacity`` interchangeable slots.
+
+    Usage inside a process::
+
+        req = resource.request()
+        yield req
+        try:
+            yield sim.timeout(service_time)
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, sim, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Return an event that fires when a slot is granted."""
+        event = Event(self.sim)
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Return one slot; wakes the oldest waiter, if any."""
+        if self.in_use <= 0:
+            raise RuntimeError("release() without a matching request()")
+        if self._waiters:
+            # Hand the slot directly to the next waiter.
+            self._waiters.popleft().succeed()
+        else:
+            self.in_use -= 1
+
+
+class Store:
+    """A FIFO buffer with optional capacity and blocking get/put."""
+
+    def __init__(self, sim, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self.items) >= self.capacity
+
+    def put(self, item: Any) -> Event:
+        """Return an event that fires once ``item`` is accepted."""
+        event = Event(self.sim)
+        if self._getters:
+            # Hand directly to a waiting consumer.
+            self._getters.popleft().succeed(item)
+            event.succeed()
+        elif not self.is_full:
+            self.items.append(item)
+            event.succeed()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False when the store is full."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            return True
+        if self.is_full:
+            return False
+        self.items.append(item)
+        return True
+
+    def get(self) -> Event:
+        """Return an event that fires with the oldest item."""
+        event = Event(self.sim)
+        if self.items:
+            event.succeed(self.items.popleft())
+            self._admit_putter()
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> tuple:
+        """Non-blocking get; returns ``(ok, item)``."""
+        if self.items:
+            item = self.items.popleft()
+            self._admit_putter()
+            return True, item
+        return False, None
+
+    def _admit_putter(self) -> None:
+        if self._putters and not self.is_full:
+            event, item = self._putters.popleft()
+            self.items.append(item)
+            event.succeed()
+
+
+class TokenBucket:
+    """Token-bucket rate limiter.
+
+    The cloud in the paper rate-limits every guest: 4M packets/s and
+    10 Gbit/s for networking, 25K IOPS and 300 MB/s for storage. This
+    class models those caps. Tokens accrue continuously at ``rate`` per
+    second up to ``burst``.
+    """
+
+    def __init__(self, sim, rate: float, burst: Optional[float] = None):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.sim = sim
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else float(rate) * 1e-3
+        if self.burst <= 0:
+            raise ValueError(f"burst must be positive, got {burst}")
+        self._tokens = self.burst
+        self._last_refill = sim.now
+
+    def _refill(self) -> None:
+        now = self.sim.now
+        self._tokens = min(self.burst, self._tokens + (now - self._last_refill) * self.rate)
+        self._last_refill = now
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+    def drain(self) -> float:
+        """Empty the bucket (e.g. to skip the initial burst in tests)."""
+        self._refill()
+        tokens, self._tokens = self._tokens, 0.0
+        return tokens
+
+    def try_consume(self, amount: float = 1.0) -> bool:
+        """Consume ``amount`` tokens if immediately available."""
+        self._refill()
+        if self._tokens >= amount:
+            self._tokens -= amount
+            return True
+        return False
+
+    def delay_for(self, amount: float = 1.0) -> float:
+        """Seconds until ``amount`` tokens could be consumed (0 if now)."""
+        self._refill()
+        if self._tokens >= amount:
+            return 0.0
+        return (amount - self._tokens) / self.rate
+
+    def consume(self, amount: float = 1.0):
+        """Process helper: generator that waits for and consumes tokens.
+
+        Amounts larger than the burst are consumed in burst-sized
+        chunks (the bucket can never hold more than ``burst`` at once).
+        A small epsilon guards against float rounding: without it, the
+        residual wait can shrink toward zero without ever reaching it,
+        spinning the event loop at a single timestamp.
+        """
+        epsilon = 1e-12
+        remaining = amount
+        while remaining > 0:
+            chunk = min(remaining, self.burst)
+            wait = self.delay_for(chunk)
+            if wait <= epsilon:
+                self._refill()
+                self._tokens -= chunk
+                remaining -= chunk
+            else:
+                yield self.sim.timeout(wait + epsilon)

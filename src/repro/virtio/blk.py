@@ -1,0 +1,134 @@
+"""virtio-blk device model and request format.
+
+A block request is a descriptor chain of three parts, as in the spec:
+a 16-byte header (type, reserved, sector), the data segments, and a
+one-byte status the device writes last. The bm-guest boots from this
+interface ("the bootloader and kernel ... are stored remotely and only
+accessible through the virtio-blk interface", Section 3.2).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.virtio.device import Feature, VIRTIO_ID_BLOCK, VirtioDevice, feature_mask
+
+__all__ = [
+    "VirtioBlkDevice",
+    "BlkRequestHeader",
+    "SECTOR_BYTES",
+    "VIRTIO_BLK_T_IN",
+    "VIRTIO_BLK_T_OUT",
+    "VIRTIO_BLK_T_FLUSH",
+    "VIRTIO_BLK_S_OK",
+    "VIRTIO_BLK_S_IOERR",
+    "VIRTIO_BLK_S_UNSUPP",
+]
+
+SECTOR_BYTES = 512
+
+VIRTIO_BLK_T_IN = 0      # device -> driver (read)
+VIRTIO_BLK_T_OUT = 1     # driver -> device (write)
+VIRTIO_BLK_T_FLUSH = 4
+
+VIRTIO_BLK_S_OK = 0
+VIRTIO_BLK_S_IOERR = 1
+VIRTIO_BLK_S_UNSUPP = 2
+
+_HDR_FORMAT = "<IIQ"  # type, reserved, sector
+
+
+@dataclass
+class BlkRequestHeader:
+    """``virtio_blk_req`` header (16 bytes)."""
+
+    type: int
+    sector: int
+    reserved: int = 0
+
+    SIZE = struct.calcsize(_HDR_FORMAT)
+
+    def pack(self) -> bytes:
+        return struct.pack(_HDR_FORMAT, self.type, self.reserved, self.sector)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "BlkRequestHeader":
+        if len(data) < cls.SIZE:
+            raise ValueError(f"short virtio-blk header: {len(data)} bytes")
+        req_type, reserved, sector = struct.unpack(_HDR_FORMAT, data[: cls.SIZE])
+        return cls(type=req_type, sector=sector, reserved=reserved)
+
+
+class VirtioBlkDevice(VirtioDevice):
+    """A single-queue virtio block device."""
+
+    device_id = VIRTIO_ID_BLOCK
+    n_queues = 1
+
+    def __init__(self, capacity_sectors: int = 2 * 1024 * 1024 * 2, **kwargs):
+        # Default 2 GiB of 512-byte sectors.
+        super().__init__(**kwargs)
+        self.capacity_sectors = capacity_sectors
+        self._config = {
+            "capacity": capacity_sectors,
+            "seg_max": 128,
+            "blk_size": SECTOR_BYTES,
+        }
+
+    def offered_features(self) -> int:
+        return super().offered_features() | feature_mask(
+            Feature.BLK_SEG_MAX, Feature.BLK_BLK_SIZE, Feature.BLK_FLUSH
+        )
+
+    @property
+    def vq(self):
+        return self.queue(0)
+
+    # -- driver-side helpers ---------------------------------------------------
+    def driver_read(self, sector: int, nbytes: int) -> int:
+        """Post a read request; returns the chain head."""
+        self._check_range(sector, nbytes)
+        header = BlkRequestHeader(type=VIRTIO_BLK_T_IN, sector=sector)
+        return self.vq.add_buffer([header.pack()], [nbytes, 1])
+
+    def driver_write(self, sector: int, data: bytes) -> int:
+        """Post a write request; returns the chain head."""
+        self._check_range(sector, len(data))
+        header = BlkRequestHeader(type=VIRTIO_BLK_T_OUT, sector=sector)
+        return self.vq.add_buffer([header.pack(), data], [1])
+
+    def driver_flush(self) -> int:
+        header = BlkRequestHeader(type=VIRTIO_BLK_T_FLUSH, sector=0)
+        return self.vq.add_buffer([header.pack()], [1])
+
+    def _check_range(self, sector: int, nbytes: int) -> None:
+        if nbytes % SECTOR_BYTES:
+            raise ValueError(f"I/O size {nbytes} is not sector aligned")
+        last = sector + nbytes // SECTOR_BYTES
+        if sector < 0 or last > self.capacity_sectors:
+            raise ValueError(
+                f"request [{sector}, {last}) outside device of "
+                f"{self.capacity_sectors} sectors"
+            )
+
+    # -- device-side helpers -----------------------------------------------------
+    def device_fetch_request(self):
+        """Pop one request: returns (head, header, data, status_capacity).
+
+        ``data`` is the write payload for OUT requests and ``b""`` for
+        IN/FLUSH. The final writable byte of the chain is the status.
+        """
+        chain = self.vq.pop_avail()
+        if chain is None:
+            return None
+        raw = self.vq.read_chain(chain)
+        header = BlkRequestHeader.unpack(raw)
+        data = raw[BlkRequestHeader.SIZE:]
+        return chain, header, data
+
+    def device_complete(self, chain, payload: bytes, status: int) -> None:
+        """Write the response payload + status byte and push used."""
+        response = payload + bytes([status])
+        self.vq.write_chain(chain, response)
+        self.vq.push_used(chain.head, len(response))

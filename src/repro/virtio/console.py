@@ -1,0 +1,83 @@
+"""virtio-console: the guest console device.
+
+"BM-Hive supports a VGA device for users to connect to the console of
+the bm-guest" (Section 3.4.2). We model it as a virtio console
+(device id 3): queue 0 receives keystrokes from the cloud console
+service, queue 1 transmits the guest's terminal output. Like every
+other device on the board, it is emulated by IO-Bond and backed by the
+bm-hypervisor — "IO-Bond only needs to add the PCIe configure space
+for the new device. The rest can be reused" (Section 3.3), which is
+exactly how tests attach it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.virtio.device import VIRTIO_ID_CONSOLE, VirtioDevice
+
+__all__ = ["VirtioConsoleDevice", "CONSOLE_RX_QUEUE", "CONSOLE_TX_QUEUE"]
+
+CONSOLE_RX_QUEUE = 0
+CONSOLE_TX_QUEUE = 1
+
+
+class VirtioConsoleDevice(VirtioDevice):
+    """A two-queue virtio console."""
+
+    device_id = VIRTIO_ID_CONSOLE
+    n_queues = 2
+    default_queue_size = 64
+
+    def __init__(self, columns: int = 80, rows: int = 25, **kwargs):
+        super().__init__(**kwargs)
+        self._config = {"cols": columns, "rows": rows, "max_nr_ports": 1}
+
+    @property
+    def rx(self):
+        return self.queue(CONSOLE_RX_QUEUE)
+
+    @property
+    def tx(self):
+        return self.queue(CONSOLE_TX_QUEUE)
+
+    # -- driver side -------------------------------------------------------
+    def driver_write(self, text: str) -> int:
+        """Guest writes terminal output; returns the chain head."""
+        return self.tx.add_buffer([text.encode()], [])
+
+    def driver_post_input_buffer(self, size: int = 256) -> int:
+        """Guest offers a buffer for incoming keystrokes."""
+        return self.rx.add_buffer([], [size])
+
+    # -- device (console service) side ----------------------------------------
+    def device_read_output(self) -> Optional[str]:
+        """The console service drains one chunk of guest output."""
+        chain = self.tx.pop_avail()
+        if chain is None:
+            return None
+        text = self.tx.read_chain(chain).decode(errors="replace")
+        self.tx.push_used(chain.head)
+        return text
+
+    def device_send_input(self, text: str) -> bool:
+        """The console service types into the guest; False if no buffer."""
+        chain = self.rx.pop_avail()
+        if chain is None:
+            return False
+        data = text.encode()
+        if len(data) > chain.writable_bytes:
+            self.rx.push_used(chain.head, 0)
+            return False
+        self.rx.write_chain(chain, data)
+        self.rx.push_used(chain.head, len(data))
+        return True
+
+    def drain_output(self) -> List[str]:
+        """Drain everything the guest has written so far."""
+        chunks = []
+        while True:
+            chunk = self.device_read_output()
+            if chunk is None:
+                return chunks
+            chunks.append(chunk)

@@ -1,0 +1,107 @@
+"""Multi-queue virtio-net (VIRTIO_NET_F_MQ).
+
+The Fig 9 packet rates (3.4M PPS through the kernel, 16M bypassed) are
+only reachable with multiple queue pairs: each pair gets its own
+vring, its own interrupt, and its own softirq context, so flows spread
+across guest cores. This module implements the MQ extension on top of
+:class:`~repro.virtio.net.VirtioNetDevice`: N receive/transmit pairs
+plus a control queue, with RSS-style flow steering.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.virtio.device import Feature, feature_mask
+from repro.virtio.net import VirtioNetDevice, VirtioNetHeader
+
+__all__ = ["MultiQueueNetDevice", "rss_queue_for_flow"]
+
+VIRTIO_NET_F_MQ = 22
+
+
+def rss_queue_for_flow(flow_hash: int, n_pairs: int) -> int:
+    """Toeplitz-style indirection: hash -> queue pair index."""
+    if n_pairs < 1:
+        raise ValueError(f"n_pairs must be >= 1, got {n_pairs}")
+    return flow_hash % n_pairs
+
+
+class MultiQueueNetDevice(VirtioNetDevice):
+    """virtio-net with ``n_queue_pairs`` rx/tx pairs and a control queue.
+
+    Queue layout per the spec: rx0, tx0, rx1, tx1, ..., ctrl.
+    """
+
+    def __init__(self, n_queue_pairs: int = 4, **kwargs):
+        if n_queue_pairs < 1:
+            raise ValueError(f"need at least one queue pair, got {n_queue_pairs}")
+        self.n_queue_pairs = n_queue_pairs
+        super().__init__(**kwargs)
+        # Instance attribute shadows the class default (queues are
+        # built lazily at FEATURES_OK, so this is early enough).
+        self.n_queues = 2 * n_queue_pairs + 1
+        self._config["max_virtqueue_pairs"] = n_queue_pairs
+        self.active_pairs = 1  # until the driver enables more
+
+    def offered_features(self) -> int:
+        return super().offered_features() | feature_mask(VIRTIO_NET_F_MQ)
+
+    # -- queue addressing ---------------------------------------------------
+    def rx_queue(self, pair: int):
+        self._check_pair(pair)
+        return self.queue(2 * pair)
+
+    def tx_queue(self, pair: int):
+        self._check_pair(pair)
+        return self.queue(2 * pair + 1)
+
+    @property
+    def ctrl_queue(self):
+        return self.queue(2 * self.n_queue_pairs)
+
+    def _check_pair(self, pair: int) -> None:
+        if not 0 <= pair < self.n_queue_pairs:
+            raise IndexError(
+                f"queue pair {pair} out of range (device has {self.n_queue_pairs})"
+            )
+
+    # -- control plane --------------------------------------------------------
+    def set_active_pairs(self, n: int) -> None:
+        """VIRTIO_NET_CTRL_MQ_VQ_PAIRS_SET from the driver."""
+        if not self.has_feature(VIRTIO_NET_F_MQ):
+            raise RuntimeError("MQ was not negotiated")
+        if not 1 <= n <= self.n_queue_pairs:
+            raise ValueError(
+                f"active pairs must be 1..{self.n_queue_pairs}, got {n}"
+            )
+        self.active_pairs = n
+
+    # -- datapath ----------------------------------------------------------------
+    def driver_send_on(self, pair: int, frame: bytes) -> int:
+        """Transmit ``frame`` on a specific pair's Tx ring."""
+        self._check_pair(pair)
+        header = VirtioNetHeader()
+        return self.tx_queue(pair).add_buffer([header.pack(), frame], [])
+
+    def device_receive_steered(self, frame: bytes, flow_hash: int) -> Tuple[bool, int]:
+        """Deliver ``frame`` to the RSS-selected active pair.
+
+        Returns ``(delivered, pair_index)``.
+        """
+        pair = rss_queue_for_flow(flow_hash, self.active_pairs)
+        rx = self.rx_queue(pair)
+        chain = rx.pop_avail()
+        if chain is None:
+            return False, pair
+        payload = VirtioNetHeader(num_buffers=1).pack() + frame
+        if len(payload) > chain.writable_bytes:
+            rx.push_used(chain.head, 0)
+            return False, pair
+        rx.write_chain(chain, payload)
+        rx.push_used(chain.head, len(payload))
+        return True, pair
+
+    def per_pair_backlog(self) -> List[int]:
+        """Pending Rx buffers per pair (steering balance diagnostics)."""
+        return [self.rx_queue(pair).avail_pending for pair in range(self.n_queue_pairs)]

@@ -1,0 +1,69 @@
+"""Workload models: every benchmark the paper's evaluation runs."""
+
+from repro.workloads.apps import AppResult, measure_blk_op_latency, run_app, service_time
+from repro.workloads.calibration import (
+    MARIADB_READ,
+    MARIADB_RW,
+    MARIADB_WRITE,
+    NGINX,
+    REDIS,
+    AppProfile,
+)
+from repro.workloads.fio import FioResult, fio_run
+from repro.workloads.mariadb import MariadbResult, run_mariadb
+from repro.workloads.netperf import (
+    PpsResult,
+    TcpResult,
+    tcp_throughput_test,
+    udp_pps_test,
+)
+from repro.workloads.nginx import NginxSweep, run_nginx_sweep
+from repro.workloads.redis import (
+    RedisSweep,
+    run_redis_client_sweep,
+    run_redis_size_sweep,
+)
+from repro.workloads.sockperf import (
+    LatencyResult,
+    dpdk_latency_test,
+    ping_test,
+    udp_latency_test,
+)
+from repro.workloads.spec import CINT2006, SpecBenchmark, SpecResult, run_spec
+from repro.workloads.stream import StreamResult, run_stream
+
+__all__ = [
+    "AppProfile",
+    "NGINX",
+    "MARIADB_READ",
+    "MARIADB_WRITE",
+    "MARIADB_RW",
+    "REDIS",
+    "AppResult",
+    "run_app",
+    "service_time",
+    "measure_blk_op_latency",
+    "udp_pps_test",
+    "tcp_throughput_test",
+    "PpsResult",
+    "TcpResult",
+    "udp_latency_test",
+    "dpdk_latency_test",
+    "ping_test",
+    "LatencyResult",
+    "fio_run",
+    "FioResult",
+    "run_spec",
+    "SpecResult",
+    "SpecBenchmark",
+    "CINT2006",
+    "run_stream",
+    "StreamResult",
+    "run_nginx_sweep",
+    "NginxSweep",
+    "run_mariadb",
+    "MariadbResult",
+    "run_redis_client_sweep",
+    "run_redis_size_sweep",
+    "RedisSweep",
+]

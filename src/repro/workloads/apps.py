@@ -1,0 +1,115 @@
+"""The application workload engine behind Figs 12-16.
+
+A server application is modelled as a closed-loop service: each
+request costs userspace CPU, kernel crossings, network packets through
+the guest's datapath, and (for write-heavy databases) amortized block
+I/O. The per-request **virtualization surcharge** — VM exits, EPT tax,
+preemption — comes from the guest object itself; this engine never
+branches on "bm vs vm" for anything but asking the guest what its own
+mechanisms cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.workloads.calibration import AppProfile
+
+__all__ = ["AppResult", "service_time", "run_app", "measure_blk_op_latency"]
+
+
+@dataclass
+class AppResult:
+    """Closed-loop measurement of one application configuration."""
+
+    guest_kind: str
+    app: str
+    clients: int
+    requests_per_second: float
+    mean_response_s: float
+    service_s: float
+
+    @property
+    def krps(self) -> float:
+        return self.requests_per_second / 1e3
+
+
+def measure_blk_op_latency(sim, guest, nbytes: int, is_read: bool,
+                           probes: int = 12) -> float:
+    """Sample the guest's block path to get a mean per-I/O latency."""
+
+    def probe():
+        total = 0.0
+        for _ in range(probes):
+            result = yield from guest.blk_path.io(nbytes, is_read)
+            total += result.latency_s
+        return total / probes
+
+    return sim.run_process(probe())
+
+
+def service_time(sim, guest, profile: AppProfile,
+                 blk_read_latency_s: Optional[float] = None,
+                 blk_write_latency_s: Optional[float] = None) -> float:
+    """Per-request service time on one worker thread of ``guest``."""
+    kernel = guest.kernel
+    # Userspace work (EPT-taxed on a vm-guest via the guest's model).
+    cpu = guest.cpu_time(profile.cpu_s, profile.memory_intensity)
+    # Kernel path: syscalls, packet processing, connection churn.
+    scale = profile.packet_cost_scale
+    kern = profile.syscalls * kernel.syscall_time()
+    kern += scale * profile.packets_in * kernel.tcp_rx_time(256)
+    kern += scale * profile.packets_out * kernel.tcp_tx_time(1024)
+    if profile.new_connection:
+        kern += kernel.tcp_connection_time()
+    # Virtualization surcharge: exits charged to this operation. Zero
+    # on physical machines and bm-guests by construction.
+    virt = guest.io_operation_overhead(profile.exits_per_op)
+    # Storage: group commit amortizes the per-I/O latency over many
+    # requests (InnoDB redo-log batching).
+    blk = 0.0
+    if profile.blk_reads:
+        if blk_read_latency_s is None:
+            blk_read_latency_s = measure_blk_op_latency(sim, guest, profile.blk_bytes, True)
+        blk += profile.blk_reads * blk_read_latency_s / profile.group_commit
+    if profile.blk_writes:
+        if blk_write_latency_s is None:
+            blk_write_latency_s = measure_blk_op_latency(sim, guest, profile.blk_bytes, False)
+        blk += profile.blk_writes * blk_write_latency_s / profile.group_commit
+    return cpu + kern + virt + blk
+
+
+def run_app(sim, guest, profile: AppProfile, clients: int,
+            service_multiplier: float = 1.0) -> AppResult:
+    """Closed-loop run: ``clients`` concurrent clients, think time zero.
+
+    Throughput = workers / service once the server saturates; response
+    time follows the closed-system Little's law. ``service_multiplier``
+    lets sweeps apply externally-derived factors (e.g. payload-size
+    scaling in the Redis data-size sweep).
+    """
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    service = service_time(sim, guest, profile) * service_multiplier
+    workers = profile.server_threads or guest.hyperthreads
+    rng = sim.streams.get(f"app.{profile.name}.{guest.name}")
+    # Run-to-run measurement noise; vm-guests additionally wobble with
+    # host activity (their scheduler already priced the mean in).
+    sigma = 0.015 if guest.kind == "vm" else 0.008
+    noise = float(rng.lognormal(mean=0.0, sigma=sigma))
+
+    busy_workers = min(clients, workers)
+    rps = busy_workers / service * noise
+    if clients <= workers:
+        response = service
+    else:
+        response = clients * service / workers
+    return AppResult(
+        guest_kind=guest.kind,
+        app=profile.name,
+        clients=clients,
+        requests_per_second=rps,
+        mean_response_s=response,
+        service_s=service,
+    )

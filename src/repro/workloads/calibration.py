@@ -1,0 +1,117 @@
+"""Workload service demands — the single calibration point.
+
+Every application model expresses its per-operation work in
+**reference-CPU seconds** (one thread of the Xeon E5-2682 v4). The
+values below are calibrated once so the *bare-metal* guest lands near
+the paper's absolute numbers; the vm-guest's deficit then *emerges*
+from the KVM mechanisms (exit cost, EPT tax, interrupt injection, host
+preemption) — no bm/vm ratio is hard-coded anywhere.
+
+The second class of constants is **exit intensity**: how many VM exits
+one operation of each workload provokes in the vm-guest. These are the
+workload-specific knobs; their magnitudes are consistent with the
+paper's own fleet census (Table 2: VMs routinely run at 10K-100K
+exits/s/vCPU, and network-heavy guests dominate that tail).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AppProfile", "NGINX", "MARIADB_READ", "MARIADB_WRITE", "MARIADB_RW", "REDIS"]
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """Service demand of one application operation (request/query/op)."""
+
+    name: str
+    cpu_s: float                 # userspace work per op (reference seconds)
+    memory_intensity: float      # [0,1], drives the EPT CPU tax
+    syscalls: int                # kernel crossings per op
+    packets_in: int              # network packets received per op
+    packets_out: int             # network packets sent per op
+    new_connection: bool         # TCP setup/teardown per op (KeepAlive off)
+    blk_reads: int = 0           # storage ops per operation
+    blk_writes: int = 0
+    blk_bytes: int = 4096
+    exits_per_op: float = 0.0    # vm-guest: exits provoked per op
+    packet_cost_scale: float = 1.0  # hot-connection discount on kernel path
+    server_threads: int = 0      # 0 = use every guest hyperthread
+    group_commit: int = 1        # storage ops amortized across this many ops
+
+
+# NGINX serving a small static page over HTTP, KeepAlive disabled
+# (Section 4.4): every request is a fresh TCP connection. Connection
+# churn makes this the most virtualization-hostile workload in the
+# evaluation — timer, IPI and interrupt exits on every request — which
+# is why the paper sees the largest gap here (+50-60% for bm).
+NGINX = AppProfile(
+    name="nginx",
+    cpu_s=28e-6,
+    memory_intensity=0.25,
+    syscalls=10,
+    packets_in=5,            # SYN, ACK, request, FIN, ACK
+    packets_out=5,           # SYN/ACK, response (2 segments), FIN, ACK
+    new_connection=True,
+    exits_per_op=4.6,
+)
+
+# sysbench OLTP against MariaDB, 16 tables x 1M rows, 128 threads
+# (Section 4.4). Read-only queries are mostly userspace B-tree work;
+# writes add redo-log I/O and more kernel crossings.
+MARIADB_READ = AppProfile(
+    name="mariadb-ro",
+    cpu_s=151e-6,
+    memory_intensity=0.45,
+    syscalls=6,
+    packets_in=1,
+    packets_out=1,
+    new_connection=False,
+    exits_per_op=1.6,
+)
+
+MARIADB_WRITE = AppProfile(
+    name="mariadb-wo",
+    cpu_s=150e-6,
+    memory_intensity=0.45,
+    syscalls=14,
+    packets_in=1,
+    packets_out=1,
+    new_connection=False,
+    blk_writes=1,
+    blk_bytes=16384,
+    exits_per_op=6.2,
+    group_commit=32,         # redo-log group commit amortizes the fsync
+)
+
+MARIADB_RW = AppProfile(
+    name="mariadb-rw",
+    cpu_s=144e-6,
+    memory_intensity=0.45,
+    syscalls=12,
+    packets_in=1,
+    packets_out=1,
+    new_connection=False,
+    blk_reads=1,
+    blk_writes=1,
+    blk_bytes=16384,
+    exits_per_op=8.1,
+    group_commit=32,
+)
+
+# Redis GET/SET against 10M random keys (Section 4.4). Ops are tiny,
+# so even a fraction of an exit per op (interrupt batches, timer ticks
+# under heavy softirq load) is a visible share of the service time.
+REDIS = AppProfile(
+    name="redis",
+    cpu_s=4.2e-6,
+    memory_intensity=0.60,
+    syscalls=2,
+    packets_in=1,
+    packets_out=1,
+    new_connection=False,
+    exits_per_op=0.22,
+    packet_cost_scale=0.35,  # hot epoll loop: no wakeups, warm caches
+    server_threads=1,        # redis-server is single-threaded
+)

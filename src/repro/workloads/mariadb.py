@@ -1,0 +1,48 @@
+"""MariaDB + sysbench OLTP (Figs 13 and 14).
+
+"The test database for MariaDB contained 16 tables, each with 1
+million records. We used sysbench-1.0.17 with 128 threads... For
+read-only queries, the bm-guest sustained 195K queries per second
+(QPS), while the vm-guest with the same configuration only reached
+170K QPS, i.e., the bm-guest was about 14.7% faster... In addition,
+the bm-guest was about 42% faster than the vm-guest in write-only
+queries and 55% faster in read/write mixed queries" (Section 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.workloads.apps import AppResult, run_app
+from repro.workloads.calibration import MARIADB_READ, MARIADB_RW, MARIADB_WRITE
+
+__all__ = ["MariadbResult", "run_mariadb", "SYSBENCH_THREADS"]
+
+SYSBENCH_THREADS = 128
+
+PROFILES = {
+    "read-only": MARIADB_READ,
+    "write-only": MARIADB_WRITE,
+    "read-write": MARIADB_RW,
+}
+
+
+@dataclass
+class MariadbResult:
+    """QPS per query mix for one guest."""
+
+    guest_kind: str
+    by_mix: Dict[str, AppResult]
+
+    def qps(self, mix: str) -> float:
+        return self.by_mix[mix].requests_per_second
+
+
+def run_mariadb(sim, guest, threads: int = SYSBENCH_THREADS) -> MariadbResult:
+    """sysbench OLTP with 128 client threads across the three mixes."""
+    results = {
+        mix: run_app(sim, guest, profile, clients=threads)
+        for mix, profile in PROFILES.items()
+    }
+    return MariadbResult(guest_kind=guest.kind, by_mix=results)

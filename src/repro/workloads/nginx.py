@@ -1,0 +1,41 @@
+"""NGINX + Apache HTTP benchmark (Fig 12).
+
+"We used the Apache HTTP benchmark to test the NGINX server with the
+KeepAlive feature disabled... When the number of clients increased,
+bm-guest consistently served about 50% to 60% more requests per second
+than vm-guest. The average response time per request was about 30%
+shorter for bm-guest" (Section 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.workloads.apps import AppResult, run_app
+from repro.workloads.calibration import NGINX
+
+__all__ = ["NginxSweep", "run_nginx_sweep", "DEFAULT_CLIENT_COUNTS"]
+
+DEFAULT_CLIENT_COUNTS = [50, 100, 200, 400, 800]
+
+
+@dataclass
+class NginxSweep:
+    """Fig 12: requests/s for each ab concurrency level."""
+
+    guest_kind: str
+    by_clients: Dict[int, AppResult]
+
+    def rps(self, clients: int) -> float:
+        return self.by_clients[clients].requests_per_second
+
+    def mean_response(self, clients: int) -> float:
+        return self.by_clients[clients].mean_response_s
+
+
+def run_nginx_sweep(sim, guest, client_counts: List[int] = None) -> NginxSweep:
+    """ab -c <clients> against NGINX on ``guest``, KeepAlive off."""
+    client_counts = client_counts or DEFAULT_CLIENT_COUNTS
+    results = {c: run_app(sim, guest, NGINX, clients=c) for c in client_counts}
+    return NginxSweep(guest_kind=guest.kind, by_clients=results)

@@ -1,0 +1,66 @@
+"""sockperf / ping / DPDK latency tests (Fig 10).
+
+Three measurements between a pair of co-resident guests:
+
+* **sockperf-3.5, 64-byte UDP, default (kernel) stack** — "it was
+  almost same between two type of guests": the guest kernel's UDP path
+  dominates, and the bm path's extra PCIe hops roughly cancel against
+  the vm path's interrupt-injection cost.
+* **DPDK basicfwd (kernel bypass)** — "vm-guest was slightly better
+  than BM-Hive due to longer I/O path": with the kernel out of the
+  way, the three-PCIe-bus traversal is the visible difference.
+* **ICMP ping** — kernel path again; "the same thing happens".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.stats import LatencySummary, summarize
+
+__all__ = ["LatencyResult", "udp_latency_test", "dpdk_latency_test", "ping_test"]
+
+SOCKPERF_PAYLOAD_BYTES = 64
+
+
+@dataclass
+class LatencyResult:
+    """Latency distribution of one mode for one guest kind."""
+
+    guest_kind: str
+    mode: str
+    summary: LatencySummary
+
+    @property
+    def mean_us(self) -> float:
+        return self.summary.mean * 1e6
+
+
+def _sample(sim, guest, n_samples: int, payload: int, bypass: bool) -> LatencySummary:
+    samples = [
+        guest.net_path.one_way_latency_sample(payload, bypass=bypass)
+        for _ in range(n_samples)
+    ]
+    return summarize(samples)
+
+
+def udp_latency_test(sim, guest, n_samples: int = 2000,
+                     payload: int = SOCKPERF_PAYLOAD_BYTES) -> LatencyResult:
+    """sockperf with the default kernel stack (one-way latency)."""
+    return LatencyResult(guest.kind, "udp-kernel", _sample(sim, guest, n_samples, payload, False))
+
+
+def dpdk_latency_test(sim, guest, n_samples: int = 2000,
+                      payload: int = SOCKPERF_PAYLOAD_BYTES) -> LatencyResult:
+    """DPDK basicfwd-style latency: kernel bypass on both guests."""
+    return LatencyResult(guest.kind, "dpdk-bypass", _sample(sim, guest, n_samples, payload, True))
+
+
+def ping_test(sim, guest, n_samples: int = 1000, payload: int = 56) -> LatencyResult:
+    """ICMP echo round trip: two kernel-path one-way trips."""
+    samples = [
+        guest.net_path.one_way_latency_sample(payload, bypass=False)
+        + guest.net_path.one_way_latency_sample(payload, bypass=False)
+        for _ in range(n_samples)
+    ]
+    return LatencyResult(guest.kind, "icmp-rtt", summarize(samples))

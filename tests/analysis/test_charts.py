@@ -1,0 +1,66 @@
+"""Unit tests for the terminal chart renderer."""
+
+import pytest
+
+from repro.analysis import bar_chart, grouped_bar_chart, line_chart
+
+
+class TestBarChart:
+    def test_basic_rendering(self):
+        chart = bar_chart(["bm", "vm"], [195e3, 170e3], title="Fig 13")
+        assert "Fig 13" in chart
+        assert "bm" in chart and "vm" in chart
+        assert "195.0K" in chart
+
+    def test_bars_scale_with_values(self):
+        chart = bar_chart(["big", "small"], [100.0, 25.0])
+        big_line, small_line = chart.splitlines()
+        assert big_line.count("#") > small_line.count("#")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [0.0])
+
+
+class TestGroupedBarChart:
+    def test_groups_both_series_per_label(self):
+        chart = grouped_bar_chart(
+            [100, 400], {"bm": [360e3, 361e3], "vm": [255e3, 261e3]}
+        )
+        assert chart.count("bm |") + chart.count("bm ") >= 2
+        assert "360.0K" in chart
+
+    def test_series_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            grouped_bar_chart(["a", "b"], {"s": [1.0]})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart(["a"], {})
+
+
+class TestLineChart:
+    def test_renders_grid_with_legend(self):
+        chart = line_chart(
+            [4, 16, 64], {"bm": [127e3, 124e3, 127e3], "vm": [87e3, 92e3, 90e3]}
+        )
+        assert "a=bm" in chart and "b=vm" in chart
+        assert "a" in chart and "b" in chart
+
+    def test_y_floor_like_fig16(self):
+        chart = line_chart(
+            [1, 2], {"s": [100e3, 120e3]}, y_floor=80e3
+        )
+        assert "80.0K" in chart
+
+    def test_flat_series_does_not_crash(self):
+        chart = line_chart([1, 2, 3], {"flat": [5.0, 5.0, 5.0]})
+        assert "flat" in chart
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart([1, 2], {"s": [1.0]})

@@ -1,0 +1,172 @@
+"""Unit tests for the DPDK vSwitch, SPDK storage, media, fabric, TAP."""
+
+import pytest
+
+from repro.backend import (
+    CLOUD_SSD,
+    LOCAL_NVME,
+    DpdkSpec,
+    DpdkVSwitch,
+    Fabric,
+    GuestLimiters,
+    RateLimits,
+    SpdkStorage,
+    Ssd,
+    TapBackend,
+)
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=2)
+
+
+class TestDpdkVSwitch:
+    def test_burst_time_poll_vs_interrupt(self):
+        spec = DpdkSpec()
+        assert spec.burst_time(32, poll_mode=True) < spec.burst_time(32, poll_mode=False)
+
+    def test_burst_validation(self):
+        with pytest.raises(ValueError):
+            DpdkSpec().burst_time(0)
+
+    def test_port_management(self, sim):
+        vswitch = DpdkVSwitch(sim)
+        limiters = GuestLimiters(sim, RateLimits.unrestricted())
+        vswitch.add_port("a", limiters)
+        with pytest.raises(ValueError):
+            vswitch.add_port("a", limiters)
+        with pytest.raises(KeyError, match="ports: a"):
+            vswitch.port("b")
+
+    def test_switch_burst_delivers_intra_server(self, sim):
+        vswitch = DpdkVSwitch(sim)
+        limiters = GuestLimiters(sim, RateLimits.unrestricted())
+        delivered = []
+        vswitch.add_port("src", limiters)
+        vswitch.add_port("dst", limiters, deliver=lambda n, b: delivered.append((n, b)))
+        sim.run_process(vswitch.switch_burst("src", 32, 32 * 64, dst_port="dst"))
+        assert delivered == [(32, 32 * 64)]
+        assert vswitch.port("src").tx_packets == 32
+        assert vswitch.port("dst").rx_packets == 32
+        assert vswitch.forwarded_packets == 32
+
+    def test_limiters_applied_at_source(self, sim):
+        vswitch = DpdkVSwitch(sim)
+        limiters = GuestLimiters(sim, RateLimits.standard())
+        limiters.pps.drain()
+        vswitch.add_port("src", limiters)
+
+        def run(sim):
+            yield from vswitch.switch_burst("src", 4000, 4000 * 64)
+            return sim.now
+
+        # 4000 packets at 4M PPS from an empty bucket: ~1 ms of token
+        # wait plus the PMD burst-processing time.
+        assert sim.run_process(run(sim)) == pytest.approx(1.23e-3, rel=0.1)
+
+
+class TestSsdMedia:
+    def test_read_faster_than_write_latency_profile(self, sim):
+        assert CLOUD_SSD.write_latency_s < CLOUD_SSD.read_latency_s
+
+    def test_io_returns_latency(self, sim):
+        ssd = Ssd(sim, LOCAL_NVME)
+        latency = sim.run_process(ssd.io(4096, is_read=True))
+        assert latency > 0
+        assert ssd.completed == 1
+
+    def test_negative_size_rejected(self, sim):
+        ssd = Ssd(sim)
+        with pytest.raises(ValueError):
+            sim.run_process(ssd.io(-1, is_read=True))
+
+    def test_channels_parallelize(self, sim):
+        ssd = Ssd(sim, CLOUD_SSD)
+
+        def one_io(sim):
+            yield from ssd.io(4096, True)
+
+        def batch(sim):
+            procs = [sim.spawn(one_io(sim)) for _ in range(CLOUD_SSD.parallel_channels)]
+            yield sim.all_of(procs)
+            return sim.now
+
+        elapsed = sim.run_process(batch(sim))
+        # All channels busy at once: total ~ one service time, not N.
+        assert elapsed < 3 * CLOUD_SSD.read_latency_s * 2
+
+
+class TestSpdk:
+    def test_remote_submit_includes_fabric(self, sim):
+        fabric = Fabric(sim)
+        fabric.attach("server-0")
+        storage = SpdkStorage(sim, fabric, "server-0")
+        limiters = GuestLimiters(sim, RateLimits.unrestricted())
+        latency = sim.run_process(storage.submit(limiters, 4096, is_read=True))
+        assert latency > 2 * fabric.spec.storage_cluster_rtt_s
+
+    def test_local_skips_fabric(self, sim):
+        fabric = Fabric(sim)
+        fabric.attach("server-0")
+        remote = SpdkStorage(sim, fabric, "server-0", remote=True)
+        sim2 = Simulator(seed=2)
+        fabric2 = Fabric(sim2)
+        fabric2.attach("server-0")
+        local = SpdkStorage(sim2, fabric2, "server-0", media=LOCAL_NVME, remote=False)
+        limiters = GuestLimiters(sim, RateLimits.unrestricted())
+        limiters2 = GuestLimiters(sim2, RateLimits.unrestricted())
+        t_remote = sim.run_process(remote.submit(limiters, 4096, True))
+        t_local = sim2.run_process(local.submit(limiters2, 4096, True))
+        assert t_local < t_remote
+
+
+class TestFabric:
+    def test_intra_server_is_free(self, sim):
+        fabric = Fabric(sim)
+        fabric.attach("a")
+
+        def run(sim):
+            yield from fabric.transmit("a", "a", 1 << 20)
+            return sim.now
+
+        assert sim.run_process(run(sim)) == 0.0
+
+    def test_cross_server_pays_nic_and_switch(self, sim):
+        fabric = Fabric(sim)
+        fabric.attach("a")
+        fabric.attach("b")
+
+        def run(sim):
+            yield from fabric.transmit("a", "b", 1 << 20)
+            return sim.now
+
+        elapsed = sim.run_process(run(sim))
+        serialization = (1 << 20) * 8 / 100e9
+        assert elapsed == pytest.approx(
+            serialization + fabric.spec.switch_latency_s + fabric.spec.propagation_s
+        )
+
+    def test_duplicate_attach_rejected(self, sim):
+        fabric = Fabric(sim)
+        fabric.attach("a")
+        with pytest.raises(ValueError):
+            fabric.attach("a")
+
+
+class TestTap:
+    def test_slow_path_is_slow(self, sim):
+        tap = TapBackend(sim)
+        assert tap.max_pps(64) < 1e6  # cannot do cloud packet rates
+        assert not TapBackend.deployed_in_production
+
+    def test_forward_charges_per_packet(self, sim):
+        tap = TapBackend(sim)
+        sim.run_process(tap.forward(10, 64))
+        assert sim.now == pytest.approx(10 * tap.packet_time(64))
+        assert tap.packets == 10
+
+    def test_burst_validation(self, sim):
+        with pytest.raises(ValueError):
+            sim.run_process(TapBackend(sim).forward(0, 64))

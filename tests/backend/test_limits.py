@@ -1,0 +1,83 @@
+"""Unit tests for the rate-limit profiles."""
+
+import pytest
+
+from repro.backend import GuestLimiters, RateLimits
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=0)
+
+
+class TestProfiles:
+    def test_standard_matches_paper(self):
+        limits = RateLimits.standard()
+        assert limits.pps == 4e6
+        assert limits.net_gbps == 10.0
+        assert limits.iops == 25e3
+        assert limits.storage_mbps == 300.0
+
+    def test_unrestricted_is_unbounded(self):
+        limits = RateLimits.unrestricted()
+        assert limits.is_unrestricted
+        assert limits.pps == float("inf")
+
+
+class TestLimiters:
+    def test_standard_creates_all_buckets(self, sim):
+        limiters = GuestLimiters(sim, RateLimits.standard())
+        assert limiters.pps is not None
+        assert limiters.net_bytes is not None
+        assert limiters.iops is not None
+        assert limiters.storage_bytes is not None
+
+    def test_unrestricted_creates_none(self, sim):
+        limiters = GuestLimiters(sim, RateLimits.unrestricted())
+        assert limiters.pps is None
+        assert limiters.iops is None
+
+    def test_pps_cap_enforced(self, sim):
+        limiters = GuestLimiters(sim, RateLimits.standard())
+
+        def sender(sim):
+            for _ in range(1000):
+                yield from limiters.admit_packets(1000, 1000 * 64)
+            return sim.now
+
+        elapsed = sim.run_process(sender(sim))
+        # 1M packets at 4M/s needs ~0.25 s (minus burst).
+        assert elapsed == pytest.approx(0.25, rel=0.05)
+
+    def test_iops_cap_enforced(self, sim):
+        limiters = GuestLimiters(sim, RateLimits.standard())
+
+        def issuer(sim):
+            for _ in range(2500):
+                yield from limiters.admit_io(1, 4096)
+            return sim.now
+
+        elapsed = sim.run_process(issuer(sim))
+        # 2500 IOs at 25K/s ~ 0.1 s.
+        assert elapsed == pytest.approx(0.1, rel=0.1)
+
+    def test_unrestricted_admits_instantly(self, sim):
+        limiters = GuestLimiters(sim, RateLimits.unrestricted())
+
+        def sender(sim):
+            yield from limiters.admit_packets(10**7, 10**9)
+            yield from limiters.admit_io(10**6, 10**9)
+            return sim.now
+
+        assert sim.run_process(sender(sim)) == 0.0
+
+    def test_bandwidth_cap_binds_for_large_packets(self, sim):
+        limiters = GuestLimiters(sim, RateLimits.standard())
+
+        def sender(sim):
+            # 1 GB at 10 Gb/s -> 0.8 s; PPS cap would allow it instantly.
+            yield from limiters.admit_packets(1000, 10**9)
+            return sim.now
+
+        assert sim.run_process(sender(sim)) == pytest.approx(0.8, rel=0.05)

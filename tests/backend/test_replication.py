@@ -1,0 +1,39 @@
+"""Tests for replicated cloud-storage writes."""
+
+import pytest
+
+from repro.backend import Fabric, GuestLimiters, RateLimits, SpdkSpec, SpdkStorage
+from repro.sim import Simulator
+
+
+def _storage(sim, replicas):
+    fabric = Fabric(sim)
+    fabric.attach("s0")
+    return SpdkStorage(sim, fabric, "s0",
+                       spec=SpdkSpec(write_replicas=replicas))
+
+
+def _one_io(sim, storage, is_read):
+    limiters = GuestLimiters(sim, RateLimits.unrestricted())
+    return sim.run_process(storage.submit(limiters, 4096, is_read))
+
+
+class TestReplication:
+    def test_replicated_writes_cost_more(self):
+        sim1, sim3 = Simulator(seed=5), Simulator(seed=5)
+        single = _one_io(sim1, _storage(sim1, replicas=1), is_read=False)
+        triple = _one_io(sim3, _storage(sim3, replicas=3), is_read=False)
+        assert triple > single
+        assert triple - single == pytest.approx(2 * 8e-6, rel=0.01)
+
+    def test_reads_unaffected_by_replication(self):
+        sim1, sim3 = Simulator(seed=5), Simulator(seed=5)
+        single = _one_io(sim1, _storage(sim1, replicas=1), is_read=True)
+        triple = _one_io(sim3, _storage(sim3, replicas=3), is_read=True)
+        assert triple == pytest.approx(single)
+
+    def test_default_cloud_profile_is_single_ack(self):
+        # The deployed evaluation numbers (Fig 11) are calibrated with
+        # the frontend acking from its journal; replication is the
+        # opt-in durability model.
+        assert SpdkSpec().write_replicas == 1

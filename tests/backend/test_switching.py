@@ -1,0 +1,91 @@
+"""Tests for the vSwitch forwarding plane (MAC learning + flow cache)."""
+
+import pytest
+
+from repro.backend.switching import UPLINK_PORT, FlowCache, ForwardingPlane, MacTable
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=91)
+
+
+class TestMacTable:
+    def test_learn_then_lookup(self, sim):
+        table = MacTable(sim)
+        table.learn("52:54:00:00:00:01", "guest-a")
+        assert table.lookup("52:54:00:00:00:01") == "guest-a"
+
+    def test_unknown_mac_is_none(self, sim):
+        assert MacTable(sim).lookup("ff:ff:ff:ff:ff:ff") is None
+
+    def test_entries_age_out(self, sim):
+        table = MacTable(sim, aging_s=10.0)
+        table.learn("m1", "p1")
+        sim.run(until=11.0)
+        assert table.lookup("m1") is None
+        assert len(table) == 0
+
+    def test_relearning_moves_the_port(self, sim):
+        """A migrated guest's MAC shows up on a new port."""
+        table = MacTable(sim)
+        table.learn("m1", "old-port")
+        table.learn("m1", "new-port")
+        assert table.lookup("m1") == "new-port"
+
+    def test_capacity_evicts_stalest(self, sim):
+        table = MacTable(sim, capacity=2, aging_s=1e9)
+        table.learn("m1", "p1")
+        sim.run(until=1.0)
+        table.learn("m2", "p2")
+        sim.run(until=2.0)
+        table.learn("m3", "p3")
+        assert table.lookup("m1") is None  # stalest got evicted
+        assert table.lookup("m3") == "p3"
+
+
+class TestFlowCache:
+    def test_hit_miss_accounting(self):
+        cache = FlowCache()
+        assert cache.get("a", "b") is None
+        cache.put("a", "b", "p1")
+        assert cache.get("a", "b") == "p1"
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_overflow_flushes(self):
+        cache = FlowCache(capacity=2)
+        cache.put("a", "b", "p1")
+        cache.put("c", "d", "p2")
+        cache.put("e", "f", "p3")  # triggers the flush
+        assert cache.get("a", "b") is None
+        assert cache.get("e", "f") == "p3"
+
+
+class TestForwardingPlane:
+    def test_local_delivery_between_guests(self, sim):
+        plane = ForwardingPlane(sim)
+        plane.register_guest("mac-a", "port-a")
+        plane.register_guest("mac-b", "port-b")
+        assert plane.forward("mac-a", "mac-b", "port-a") == "port-b"
+        assert plane.forwarded_local == 1
+
+    def test_unknown_destination_goes_uplink(self, sim):
+        plane = ForwardingPlane(sim)
+        plane.register_guest("mac-a", "port-a")
+        assert plane.forward("mac-a", "remote-mac", "port-a") == UPLINK_PORT
+        assert plane.forwarded_uplink == 1
+
+    def test_hot_path_uses_the_flow_cache(self, sim):
+        plane = ForwardingPlane(sim)
+        plane.register_guest("mac-a", "port-a")
+        plane.register_guest("mac-b", "port-b")
+        for _ in range(100):
+            plane.forward("mac-a", "mac-b", "port-a")
+        assert plane.flows.hit_rate > 0.98
+
+    def test_source_macs_are_learned_from_traffic(self, sim):
+        plane = ForwardingPlane(sim)
+        plane.forward("newcomer", "whoever", "port-x")
+        assert plane.macs.lookup("newcomer") == "port-x"

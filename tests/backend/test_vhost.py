@@ -1,0 +1,53 @@
+"""Unit tests for the vhost-user protocol model."""
+
+import pytest
+
+from repro.backend import VhostRequest, VhostUserBackend, VhostUserFrontend, VhostUserMessage
+
+
+class TestHandshake:
+    def test_connect_establishes_all_rings(self):
+        backend = VhostUserBackend()
+        frontend = VhostUserFrontend(backend, n_queues=2)
+        features = frontend.connect()
+        assert features == backend.supported_features
+        assert backend.owner_set
+        assert backend.mem_table is not None
+        for index in range(2):
+            assert backend.ring_ready(index)
+
+    def test_unsupported_feature_ack_rejected(self):
+        backend = VhostUserBackend(features=0x3)
+        with pytest.raises(ValueError, match="unsupported"):
+            backend.handle(VhostUserMessage(VhostRequest.SET_FEATURES,
+                                            {"features": 0xFF}))
+
+    def test_disconnect_stops_rings_and_returns_bases(self):
+        backend = VhostUserBackend()
+        frontend = VhostUserFrontend(backend, n_queues=2)
+        frontend.connect()
+        bases = frontend.disconnect()
+        assert bases == [0, 0]
+        assert not backend.ring_ready(0)
+
+    def test_ring_not_ready_until_enabled(self):
+        backend = VhostUserBackend()
+        for request, value in (
+            (VhostRequest.SET_VRING_NUM, 256),
+            (VhostRequest.SET_VRING_ADDR, {"desc": 0}),
+            (VhostRequest.SET_VRING_BASE, 0),
+            (VhostRequest.SET_VRING_KICK, 10),
+            (VhostRequest.SET_VRING_CALL, 11),
+        ):
+            backend.handle(VhostUserMessage(request, {"index": 0, "value": value}))
+        assert not backend.ring_ready(0)
+        backend.handle(VhostUserMessage(VhostRequest.SET_VRING_ENABLE,
+                                        {"index": 0, "value": True}))
+        assert backend.ring_ready(0)
+
+    def test_message_log_preserved(self):
+        backend = VhostUserBackend()
+        VhostUserFrontend(backend, n_queues=1).connect()
+        requests = [m.request for m in backend.log]
+        assert requests[0] is VhostRequest.GET_FEATURES
+        assert VhostRequest.SET_MEM_TABLE in requests

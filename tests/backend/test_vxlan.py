@@ -1,0 +1,66 @@
+"""Tests for the VXLAN overlay and tenant network segmentation."""
+
+import pytest
+
+from repro.backend.vxlan import (
+    VXLAN_OVERHEAD_BYTES,
+    OverlayNetwork,
+    VxlanHeader,
+)
+
+
+class TestHeader:
+    def test_pack_unpack_round_trip(self):
+        header = VxlanHeader(vni=123456)
+        assert VxlanHeader.unpack(header.pack()) == header
+
+    def test_vni_is_24_bits(self):
+        with pytest.raises(ValueError):
+            VxlanHeader(vni=1 << 24)
+
+    def test_invalid_flag_rejected(self):
+        with pytest.raises(ValueError, match="I flag"):
+            VxlanHeader.unpack(b"\x00" * VxlanHeader.SIZE)
+
+    def test_short_header_rejected(self):
+        with pytest.raises(ValueError, match="short"):
+            VxlanHeader.unpack(b"\x08")
+
+
+class TestSegmentation:
+    @pytest.fixture
+    def overlay(self):
+        overlay = OverlayNetwork()
+        overlay.attach_tenant("alice")
+        overlay.attach_tenant("bob")
+        return overlay
+
+    def test_tenants_get_distinct_vnis(self, overlay):
+        assert overlay.segment_for("alice").vni != overlay.segment_for("bob").vni
+
+    def test_attach_is_idempotent(self, overlay):
+        first = overlay.attach_tenant("alice")
+        again = overlay.attach_tenant("alice")
+        assert first is again
+
+    def test_same_tenant_round_trip(self, overlay):
+        frame = b"\xAA" * 100
+        packet = overlay.encapsulate("alice", frame)
+        assert overlay.decapsulate("alice", packet) == frame
+        assert overlay.segment_for("alice").frames_in == 1
+
+    def test_cross_tenant_frames_dropped(self, overlay):
+        """The isolation property: bob never receives alice's frames."""
+        packet = overlay.encapsulate("alice", b"secret")
+        assert overlay.decapsulate("bob", packet) is None
+        assert overlay.cross_tenant_drops == 1
+
+    def test_unknown_tenant_rejected(self, overlay):
+        with pytest.raises(KeyError):
+            overlay.encapsulate("mallory", b"x")
+
+    def test_wire_overhead_is_50_bytes(self, overlay):
+        assert overlay.wire_bytes(1400) == 1400 + VXLAN_OVERHEAD_BYTES
+        assert VXLAN_OVERHEAD_BYTES == 50
+        with pytest.raises(ValueError):
+            overlay.wire_bytes(-1)

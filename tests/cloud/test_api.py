@@ -1,0 +1,54 @@
+"""Unit tests for the cloud controller."""
+
+import pytest
+
+from repro.cloud import CapacityError, CloudController
+from repro.guest import VmImage
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def cloud():
+    sim = Simulator(seed=13)
+    controller = CloudController(sim)
+    controller.add_bmhive_server("hive-0", board_slots=2)
+    controller.add_kvm_server("kvm-0", sellable_hyperthreads=88)
+    return controller
+
+
+class TestInstanceLifecycle:
+    def test_same_api_both_kinds(self, cloud):
+        """Interoperability: one API call, either service kind."""
+        image = VmImage("shared-image")
+        bm = cloud.create_instance("ebm.e5.32ht", image=image)
+        vm = cloud.create_instance("ecs.e5.32ht", image=image)
+        assert bm.kind == "bm" and vm.kind == "vm"
+        assert bm.image_digest == vm.image_digest  # same image works
+
+    def test_bm_instance_gets_a_powered_board(self, cloud):
+        record = cloud.create_instance("ebm.e5.32ht")
+        assert record.guest.board.is_on
+        assert cloud.density("hive-0") == 1
+
+    def test_capacity_error_when_full(self, cloud):
+        cloud.create_instance("ebm.e5.32ht")
+        cloud.create_instance("ebm.e5.32ht")
+        with pytest.raises(CapacityError):
+            cloud.create_instance("ebm.e5.32ht")
+
+    def test_destroy_releases_everything(self, cloud):
+        record = cloud.create_instance("ebm.e5.32ht")
+        cloud.destroy_instance(record.instance_id)
+        assert cloud.density("hive-0") == 0
+        # Capacity is back.
+        cloud.create_instance("ebm.e5.32ht")
+        cloud.create_instance("ebm.e5.32ht")
+
+    def test_destroy_unknown_raises(self, cloud):
+        with pytest.raises(KeyError):
+            cloud.destroy_instance("i-000000")
+
+    def test_destroy_vm_instance(self, cloud):
+        record = cloud.create_instance("ecs.e5.32ht")
+        cloud.destroy_instance(record.instance_id)
+        assert cloud.density("kvm-0") == 0

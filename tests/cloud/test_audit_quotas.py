@@ -1,0 +1,111 @@
+"""Tests for the audit log and quota ledger."""
+
+import dataclasses
+
+import pytest
+
+from repro.cloud.audit import GENESIS, AuditLog, TamperError
+from repro.cloud.inventory import instance
+from repro.cloud.quotas import Quota, QuotaExceeded, QuotaLedger
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=101)
+
+
+class TestAuditLog:
+    def test_records_and_verifies(self, sim):
+        log = AuditLog(sim)
+        log.record("operator", "power_on", "board-3")
+        sim.run(until=10.0)
+        log.record("operator", "firmware_update", "board-3", version="2.0")
+        assert len(log) == 2
+        assert log.verify()
+
+    def test_chain_commits_to_history(self, sim):
+        log = AuditLog(sim)
+        log.record("op", "a", "s")
+        head_one = log.head_digest()
+        log.record("op", "b", "s")
+        assert log.head_digest() != head_one
+        assert log._entries[1].previous_digest == head_one
+
+    def test_tampering_detected(self, sim):
+        log = AuditLog(sim)
+        log.record("op", "power_on", "board-1")
+        log.record("op", "power_off", "board-1")
+        forged = dataclasses.replace(log._entries[0], action="nothing_happened")
+        log._entries[0] = forged
+        with pytest.raises(TamperError):
+            log.verify()
+
+    def test_empty_log_head_is_genesis(self, sim):
+        log = AuditLog(sim)
+        assert log.head_digest() == GENESIS
+        assert log.verify()
+
+    def test_filtering(self, sim):
+        log = AuditLog(sim)
+        log.record("op", "power_on", "board-1")
+        log.record("op", "power_on", "board-2")
+        log.record("op", "migrate", "board-1")
+        assert len(log.entries(subject="board-1")) == 2
+        assert len(log.entries(action="power_on")) == 2
+        assert len(log.entries(subject="board-1", action="migrate")) == 1
+
+    def test_entries_carry_sim_time(self, sim):
+        log = AuditLog(sim)
+        sim.run(until=42.0)
+        entry = log.record("op", "x", "s")
+        assert entry.at_s == 42.0
+
+
+class TestQuotas:
+    def test_defaults_apply(self):
+        ledger = QuotaLedger(Quota(max_instances=2, max_hyperthreads=64))
+        itype = instance("ebm.e5.32ht")
+        ledger.charge("t", "i-1", itype)
+        ledger.charge("t", "i-2", itype)
+        with pytest.raises(QuotaExceeded, match="instance quota"):
+            ledger.charge("t", "i-3", itype)
+
+    def test_hyperthread_cap(self):
+        ledger = QuotaLedger(Quota(max_instances=10, max_hyperthreads=48))
+        ledger.charge("t", "i-1", instance("ebm.e5.32ht"))  # 32 HT
+        with pytest.raises(QuotaExceeded, match="HT quota"):
+            ledger.charge("t", "i-2", instance("ebm.e5.32ht"))
+        # A smaller board still fits.
+        ledger.charge("t", "i-3", instance("ebm.hfe3.8ht"))
+
+    def test_release_restores_headroom(self):
+        ledger = QuotaLedger(Quota(max_instances=1, max_hyperthreads=32))
+        ledger.charge("t", "i-1", instance("ebm.e5.32ht"))
+        ledger.release("t", "i-1")
+        ledger.charge("t", "i-2", instance("ebm.e5.32ht"))
+        assert ledger.headroom("t") == {"instances": 0, "hyperthreads": 0}
+
+    def test_per_tenant_overrides(self):
+        ledger = QuotaLedger(Quota(max_instances=1))
+        ledger.set_quota("vip", Quota(max_instances=100, max_hyperthreads=4096))
+        itype = instance("ebm.hfe3.8ht")
+        ledger.charge("vip", "i-1", itype)
+        ledger.charge("vip", "i-2", itype)
+        ledger.charge("standard", "i-3", itype)
+        with pytest.raises(QuotaExceeded):
+            ledger.charge("standard", "i-4", itype)
+
+    def test_tenants_are_isolated(self):
+        ledger = QuotaLedger(Quota(max_instances=1, max_hyperthreads=32))
+        ledger.charge("a", "i-1", instance("ebm.e5.32ht"))
+        ledger.charge("b", "i-2", instance("ebm.e5.32ht"))  # b unaffected by a
+
+    def test_double_charge_and_bad_release(self):
+        ledger = QuotaLedger()
+        itype = instance("ebm.e5.32ht")
+        ledger.charge("t", "i-1", itype)
+        with pytest.raises(ValueError):
+            ledger.charge("t", "i-1", itype)
+        with pytest.raises(KeyError):
+            ledger.release("t", "i-9")

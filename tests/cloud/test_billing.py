@@ -1,0 +1,71 @@
+"""Tests for usage metering and the 10% bare-metal discount."""
+
+import pytest
+
+from repro.cloud.billing import BM_DISCOUNT, PriceList, UsageMeter
+from repro.cloud import instance
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=93)
+
+
+class TestPricing:
+    def test_bm_is_exactly_ten_percent_cheaper(self):
+        """Section 3.5: 'bm-guest is 10% lower than vm-guest with same
+        configuration'."""
+        prices = PriceList()
+        vm_rate = prices.hourly_rate(instance("ecs.e5.32ht"))
+        bm_rate = prices.hourly_rate(instance("ebm.e5.32ht"))
+        assert bm_rate == pytest.approx(vm_rate * (1 - BM_DISCOUNT))
+
+    def test_price_scales_with_hyperthreads(self):
+        prices = PriceList()
+        small = prices.hourly_rate(instance("ebm.hfe3.8ht"))
+        big = prices.hourly_rate(instance("ebm.plat.96ht.2s"))
+        assert big == pytest.approx(small * 96 / 8)
+
+
+class TestMetering:
+    def test_running_instance_billed_to_now(self, sim):
+        meter = UsageMeter(sim)
+        meter.start("i-1", "ebm.e5.32ht")
+        sim.run(until=7200.0)  # two hours
+        invoice = meter.invoice()
+        assert len(invoice.lines) == 1
+        line = invoice.lines[0]
+        assert line["hours"] == pytest.approx(2.0)
+        assert invoice.total == pytest.approx(2.0 * line["hourly_rate"])
+
+    def test_stopped_instance_freezes_usage(self, sim):
+        meter = UsageMeter(sim)
+        meter.start("i-1", "ecs.e5.32ht")
+        sim.run(until=3600.0)
+        meter.stop("i-1")
+        sim.run(until=36000.0)
+        assert meter.invoice().lines[0]["hours"] == pytest.approx(1.0)
+
+    def test_same_shape_bm_bill_is_lower(self, sim):
+        meter = UsageMeter(sim)
+        meter.start("vm", "ecs.e5.32ht")
+        meter.start("bm", "ebm.e5.32ht")
+        sim.run(until=3600.0)
+        lines = {line["instance_id"]: line for line in meter.invoice().lines}
+        assert lines["bm"]["amount"] == pytest.approx(
+            lines["vm"]["amount"] * 0.9
+        )
+
+    def test_validation(self, sim):
+        meter = UsageMeter(sim)
+        meter.start("i-1", "ebm.e5.32ht")
+        with pytest.raises(ValueError):
+            meter.start("i-1", "ebm.e5.32ht")
+        with pytest.raises(KeyError):
+            meter.stop("i-9")
+        meter.stop("i-1")
+        with pytest.raises(ValueError):
+            meter.stop("i-1")
+        with pytest.raises(KeyError):
+            meter.start("i-2", "not.a.type")

@@ -1,0 +1,50 @@
+"""Unit tests for the pricing/density and power models."""
+
+import pytest
+
+from repro.cloud import (
+    BMHIVE_SERVER,
+    VM_SERVER,
+    compare_density,
+    compare_power,
+)
+
+
+class TestDensity:
+    def test_paper_headline_numbers(self):
+        comparison = compare_density()
+        assert comparison.vm_sellable_ht == 88
+        assert comparison.bm_sellable_ht == 256
+        assert comparison.density_gain == pytest.approx(256 / 88)
+
+    def test_bm_cheaper_per_hyperthread(self):
+        comparison = compare_density()
+        assert comparison.cost_per_ht_ratio < 1.0
+
+    def test_price_discount_recorded(self):
+        assert compare_density().bm_price_discount == pytest.approx(0.10)
+
+    def test_bom_internal_consistency(self):
+        assert VM_SERVER.total_hyperthreads == 96
+        assert BMHIVE_SERVER.total_hyperthreads == 272
+        assert BMHIVE_SERVER.fpga_cost_units > 0
+        assert VM_SERVER.fpga_cost_units == 0
+
+
+class TestPower:
+    def test_paper_watts_per_vcpu(self):
+        power = compare_power()
+        assert power.vm_watts_per_vcpu == pytest.approx(3.06, abs=0.15)
+        assert power.bm_watts_per_vcpu == pytest.approx(3.17, abs=0.15)
+
+    def test_overhead_is_fpga_plus_base(self):
+        power = compare_power()
+        assert power.overhead_watts_per_vcpu > 0
+        # With no FPGA and no base share, the gap closes.
+        flat = compare_power(fpga_watts=0.0, base_cpu_watts=0.0)
+        assert flat.overhead_watts_per_vcpu == pytest.approx(0.0)
+
+    def test_bigger_fpga_widens_gap(self):
+        small = compare_power(fpga_watts=1.0)
+        big = compare_power(fpga_watts=20.0)
+        assert big.overhead_watts_per_vcpu > small.overhead_watts_per_vcpu

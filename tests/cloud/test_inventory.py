@@ -1,0 +1,47 @@
+"""Unit tests for the instance catalog (Table 3 data)."""
+
+import pytest
+
+from repro.cloud import BM_INSTANCES, VM_INSTANCES, instance, table3_rows
+
+
+class TestCatalog:
+    def test_lookup_spans_both_catalogs(self):
+        assert instance("ebm.e5.32ht").kind == "bm"
+        assert instance("ecs.e5.32ht").kind == "vm"
+
+    def test_unknown_instance_helpful_error(self):
+        with pytest.raises(KeyError, match="catalog has"):
+            instance("ebm.nonexistent")
+
+    def test_evaluation_instance_limits(self):
+        itype = instance("ebm.e5.32ht")
+        assert itype.limits.pps == 4e6
+        assert itype.limits.iops == 25e3
+        assert itype.hyperthreads == 32
+
+    def test_96ht_board_config(self):
+        itype = instance("ebm.plat.96ht.2s")
+        assert itype.hyperthreads == 96
+        assert itype.boards_per_server == 1
+
+    def test_high_frequency_instance(self):
+        itype = instance("ebm.hfe3.8ht")
+        assert itype.single_thread_index == pytest.approx(1.31)
+
+    def test_no_bm_type_exceeds_16_boards(self):
+        assert all(1 <= i.boards_per_server <= 16 for i in BM_INSTANCES.values())
+
+    def test_table3_rows_complete(self):
+        rows = table3_rows()
+        assert len(rows) == len(BM_INSTANCES)
+        for row in rows:
+            assert set(row) >= {"instance", "cpu", "hyperthreads", "boards_per_server"}
+
+
+class TestMirrorTypes:
+    def test_vm_mirror_of_evaluation_instance(self):
+        bm, vm = instance("ebm.e5.32ht"), instance("ecs.e5.32ht")
+        assert bm.cpu_model == vm.cpu_model
+        assert bm.memory_gib == vm.memory_gib
+        assert bm.limits == vm.limits

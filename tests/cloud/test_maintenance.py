@@ -1,0 +1,87 @@
+"""Tests for rolling fleet maintenance (live hypervisor upgrades)."""
+
+import pytest
+
+from repro.cloud.maintenance import MaintenanceWindow
+from repro.core import BmHiveServer
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def fleet():
+    sim = Simulator(seed=131)
+    hive = BmHiveServer(sim)
+    for _ in range(5):
+        hive.launch_guest()
+    return sim, hive
+
+
+class TestRollingUpgrade:
+    def test_every_guest_ends_on_the_target_version(self, fleet):
+        sim, hive = fleet
+        window = MaintenanceWindow(sim, hive, target_version="2.0")
+        report = sim.run_process(window.execute())
+        assert report.complete
+        assert len(report.upgraded) == 5
+        assert all(
+            hypervisor.version == "2.0" for hypervisor in hive.hypervisors.values()
+        )
+
+    def test_concurrency_bound_respected_via_waves(self, fleet):
+        """With max_concurrent=1 the window takes ~5x one upgrade."""
+        sim, hive = fleet
+        start = sim.now
+        window = MaintenanceWindow(sim, hive, "2.0", max_concurrent=1)
+        sim.run_process(window.execute())
+        serial_elapsed = sim.now - start
+
+        sim2 = Simulator(seed=131)
+        hive2 = BmHiveServer(sim2)
+        for _ in range(5):
+            hive2.launch_guest()
+        start2 = sim2.now
+        window2 = MaintenanceWindow(sim2, hive2, "2.0", max_concurrent=5)
+        sim2.run_process(window2.execute())
+        parallel_elapsed = sim2.now - start2
+        assert parallel_elapsed < serial_elapsed / 3
+
+    def test_already_upgraded_guests_skipped(self, fleet):
+        sim, hive = fleet
+        first = MaintenanceWindow(sim, hive, "2.0")
+        sim.run_process(first.execute())
+        second = MaintenanceWindow(sim, hive, "2.0")
+        report = sim.run_process(second.execute())
+        assert report.upgraded == []
+        assert len(report.skipped) == 5
+
+    def test_window_is_fully_audited(self, fleet):
+        sim, hive = fleet
+        window = MaintenanceWindow(sim, hive, "2.0")
+        sim.run_process(window.execute())
+        actions = [entry.action for entry in window.audit.entries()]
+        assert actions[0] == "window_opened"
+        assert actions[-1] == "window_closed"
+        assert actions.count("upgraded") == 5
+        assert window.audit.verify()
+
+    def test_gap_stays_sub_second(self, fleet):
+        sim, hive = fleet
+        window = MaintenanceWindow(sim, hive, "2.0")
+        report = sim.run_process(window.execute())
+        assert 0 < report.max_gap_s < 0.5
+
+    def test_stopped_guest_aborts_the_window(self, fleet):
+        """A guest that cannot upgrade stops the rollout (no drift)."""
+        sim, hive = fleet
+        victim = hive.guests[0]
+        victim.hypervisor.power_off(victim.board)
+        window = MaintenanceWindow(sim, hive, "2.0", max_concurrent=1)
+        report = sim.run_process(window.execute())
+        assert victim.name in report.failed
+        assert not report.complete
+        assert window.audit.entries(action="window_aborted")
+
+    def test_concurrency_validation(self, fleet):
+        sim, hive = fleet
+        with pytest.raises(ValueError):
+            MaintenanceWindow(sim, hive, "2.0", max_concurrent=0)

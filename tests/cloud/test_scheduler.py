@@ -1,0 +1,62 @@
+"""Unit tests for the placement scheduler."""
+
+import pytest
+
+from repro.cloud import CapacityError, Scheduler, instance
+
+
+@pytest.fixture
+def scheduler():
+    sched = Scheduler()
+    sched.add_bmhive_server("hive-0", board_slots=8)
+    sched.add_kvm_server("kvm-0", sellable_hyperthreads=88)
+    return sched
+
+
+class TestPlacement:
+    def test_bm_goes_to_bmhive(self, scheduler):
+        placement = scheduler.place(instance("ebm.e5.32ht"))
+        assert placement.server == "hive-0"
+        assert placement.instance_id.startswith("i-")
+
+    def test_vm_goes_to_kvm(self, scheduler):
+        placement = scheduler.place(instance("ecs.e5.32ht"))
+        assert placement.server == "kvm-0"
+
+    def test_board_slots_exhaust(self, scheduler):
+        for _ in range(8):
+            scheduler.place(instance("ebm.e5.32ht"))
+        with pytest.raises(CapacityError):
+            scheduler.place(instance("ebm.e5.32ht"))
+
+    def test_ht_packing_on_kvm(self, scheduler):
+        for _ in range(2):
+            scheduler.place(instance("ecs.e5.32ht"))  # 64 of 88 HT used
+        # A third 32-HT VM needs 96 > 88 sellable HT: no capacity left.
+        with pytest.raises(CapacityError):
+            scheduler.place(instance("ecs.e5.32ht"))
+
+    def test_release_returns_capacity(self, scheduler):
+        placements = [scheduler.place(instance("ebm.e5.32ht")) for _ in range(8)]
+        scheduler.release(placements[0].instance_id)
+        assert scheduler.place(instance("ebm.e5.32ht"))
+
+    def test_release_unknown_raises(self, scheduler):
+        with pytest.raises(KeyError):
+            scheduler.release("i-999999")
+
+    def test_duplicate_server_rejected(self, scheduler):
+        with pytest.raises(ValueError):
+            scheduler.add_kvm_server("kvm-0")
+
+
+class TestUtilization:
+    def test_pool_utilization_by_kind(self, scheduler):
+        scheduler.place(instance("ebm.e5.32ht"))
+        assert scheduler.pool_utilization("bmhive") == pytest.approx(1 / 8)
+        assert scheduler.pool_utilization("kvm") == 0.0
+
+    def test_density_totals(self, scheduler):
+        totals = scheduler.total_sellable_hyperthreads(board_hyperthreads=32)
+        assert totals["bmhive"] == 256
+        assert totals["kvm"] == 88

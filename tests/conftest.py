@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.experiments.common import make_testbed
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    """A fresh deterministic simulator."""
+    return Simulator(seed=1234)
+
+
+@pytest.fixture(scope="session")
+def testbed():
+    """One shared Section-4.1 testbed for read-only measurements.
+
+    Session-scoped: building servers is cheap but not free, and most
+    workload tests only sample paths without mutating shared state.
+    """
+    return make_testbed(seed=77)
+
+
+@pytest.fixture(scope="session")
+def experiment_results():
+    """Quick-mode results of the full experiment suite, run once."""
+    from repro.experiments import run_all
+
+    return run_all(seed=0, quick=True)

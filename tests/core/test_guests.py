@@ -1,0 +1,74 @@
+"""Unit tests for the guest abstractions."""
+
+import pytest
+
+from repro.core import BmGuest, PhysicalMachine, VmGuest
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=0)
+
+
+class TestCpuSemantics:
+    def test_bm_guest_is_native(self, sim):
+        guest = BmGuest(sim)
+        assert guest.cpu_time(1.0, 0.0) == 1.0
+        # exits are meaningless for a bm-guest and must change nothing.
+        assert guest.cpu_time(1.0, 0.5, exits_per_second=50_000) == guest.cpu_time(1.0, 0.5)
+
+    def test_vm_guest_pays_virtualization(self, sim):
+        vm = VmGuest(sim)
+        bm = BmGuest(sim)
+        assert vm.cpu_time(1.0, 0.5, exits_per_second=3000) > bm.cpu_time(1.0, 0.5)
+
+    def test_physical_pays_numa_on_memory_bound(self, sim):
+        pm = PhysicalMachine(sim)
+        assert pm.cpu_time(1.0, 1.0) > pm.cpu_time(1.0, 0.0)
+        assert pm.cpu_time(1.0, 0.0) == 1.0
+
+    def test_unpinned_vm_slower_than_pinned(self, sim):
+        pinned = VmGuest(sim, pinned=True, name="p")
+        shared = VmGuest(sim, pinned=False, name="s")
+        assert shared.cpu_time(1.0, 0.2) > pinned.cpu_time(1.0, 0.2)
+
+    def test_nested_vm_much_slower(self, sim):
+        plain = VmGuest(sim, name="plain")
+        nested = VmGuest(sim, nested=True, name="nested")
+        assert nested.cpu_time(1.0, 0.0) > 1.15 * plain.cpu_time(1.0, 0.0)
+
+    def test_validation(self, sim):
+        guest = BmGuest(sim)
+        with pytest.raises(ValueError):
+            guest.cpu_time(-1.0)
+        with pytest.raises(ValueError):
+            guest.cpu_time(1.0, memory_intensity=2.0)
+
+
+class TestMemorySemantics:
+    def test_vm_bandwidth_is_98_percent(self, sim):
+        vm, bm = VmGuest(sim), BmGuest(sim)
+        assert vm.memory_bandwidth() / bm.memory_bandwidth() == pytest.approx(0.98)
+
+    def test_physical_matches_bm_within_socket(self, sim):
+        pm, bm = PhysicalMachine(sim), BmGuest(sim)
+        assert pm.memory_bandwidth() == pytest.approx(bm.memory_bandwidth())
+
+
+class TestIoOverhead:
+    def test_only_vm_guests_pay_exits(self, sim):
+        assert BmGuest(sim).io_operation_overhead(5.0) == 0.0
+        assert PhysicalMachine(sim).io_operation_overhead(5.0) == 0.0
+        assert VmGuest(sim).io_operation_overhead(5.0) == pytest.approx(50e-6)
+
+
+class TestIdentity:
+    def test_kinds(self, sim):
+        assert BmGuest(sim).kind == "bm"
+        assert VmGuest(sim).kind == "vm"
+        assert PhysicalMachine(sim).kind == "physical"
+
+    def test_hyperthreads_evaluation_config(self, sim):
+        assert BmGuest(sim).hyperthreads == 32
+        assert PhysicalMachine(sim).hyperthreads == 64  # two sockets

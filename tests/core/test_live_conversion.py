@@ -1,0 +1,76 @@
+"""Tests for the live-migration prototype (Section 6)."""
+
+import pytest
+
+from repro.core import BmHiveServer, ConversionError, live_migrate_bm_guest
+from repro.guest import VmImage
+from repro.hw import ComputeBoard
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def world():
+    sim = Simulator(seed=17)
+    hive = BmHiveServer(sim)
+    guest = hive.launch_guest(image=VmImage("centos7"))
+    spare = ComputeBoard(sim, "Xeon E5-2682 v4", 64)
+    hive.chassis.admit(spare)
+    return sim, hive, guest, spare
+
+
+class TestHappyPath:
+    def test_prototype_moves_the_guest(self, world):
+        sim, hive, guest, spare = world
+        source = guest.board.board_id
+        record = sim.run_process(live_migrate_bm_guest(sim, guest, spare))
+        assert record.source_board == source
+        assert record.target_board == spare.board_id
+        assert guest.board is spare
+        assert spare.is_on
+
+    def test_downtime_scales_with_dirty_fraction(self, world):
+        sim, hive, guest, spare = world
+        low = sim.run_process(
+            live_migrate_bm_guest(sim, guest, spare, dirty_fraction=0.01)
+        )
+        assert low.downtime_s < low.total_time_s
+        # More dirtying -> more stop-and-copy downtime.
+        sim2 = Simulator(seed=18)
+        hive2 = BmHiveServer(sim2)
+        guest2 = hive2.launch_guest(image=VmImage("centos7"))
+        spare2 = ComputeBoard(sim2, "Xeon E5-2682 v4", 64)
+        hive2.chassis.admit(spare2)
+        high = sim2.run_process(
+            live_migrate_bm_guest(sim2, guest2, spare2, dirty_fraction=0.5)
+        )
+        assert high.downtime_s > low.downtime_s
+
+    def test_dirty_fraction_validation(self, world):
+        sim, hive, guest, spare = world
+        with pytest.raises(ValueError):
+            sim.run_process(live_migrate_bm_guest(sim, guest, spare,
+                                                  dirty_fraction=1.5))
+
+
+class TestDocumentedDrawbacks:
+    def test_drawback_one_conversion_is_intrusive(self, world):
+        """'The cloud provider is not supposed to access or change
+        cloud users' systems. This approach is thus too intrusive.'"""
+        sim, hive, guest, spare = world
+        record = sim.run_process(live_migrate_bm_guest(sim, guest, spare))
+        assert record.tenant_system_modified
+        assert record.assumptions  # the layer had to assume things
+
+    def test_drawback_two_unknown_os_rejected(self, world):
+        """'...making the approach difficult to work for all bm-guests.'"""
+        sim, hive, _, spare = world
+        opaque = hive.launch_guest(name="opaque")  # no image -> unknown OS
+        with pytest.raises(ConversionError, match="cannot make assumptions"):
+            sim.run_process(live_migrate_bm_guest(sim, opaque, spare))
+
+    def test_unsupported_os_rejected(self, world):
+        sim, hive, _, spare = world
+        exotic = hive.launch_guest(name="exotic", image=VmImage("plan9"))
+        exotic.image.os_name = "Plan 9"
+        with pytest.raises(ConversionError, match="no model for"):
+            sim.run_process(live_migrate_bm_guest(sim, exotic, spare))

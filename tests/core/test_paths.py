@@ -1,0 +1,87 @@
+"""Unit tests for the network and storage datapaths."""
+
+import pytest
+
+from repro.core.paths import VIRTIO_NET_OVERHEAD
+
+
+class TestNetPathStructure:
+    def test_bm_tx_includes_pci_hops(self, testbed):
+        path = testbed.bm.net_path
+        single = path.tx_time(1, 64)
+        assert single > 2 * path.bond.spec.pci_hop_latency_s
+
+    def test_vm_tx_has_no_kick_cost(self, testbed):
+        """PMD backends poll shared memory: no exit on Tx."""
+        path = testbed.vm.net_path
+        kernel_only = path.kernel.udp_tx_time(64)
+        assert path.tx_time(1, 64) < kernel_only + 2e-6
+
+    def test_batching_amortizes_bm_overheads(self, testbed):
+        path = testbed.bm.net_path
+        assert path.tx_cost_per_packet(64, batch=32) < path.tx_time(1, 64)
+
+    def test_stage_times_cover_the_pipeline(self, testbed):
+        bm_stages = testbed.bm.net_path.stage_times(32, 64)
+        vm_stages = testbed.vm.net_path.stage_times(32, 64)
+        assert {"sender", "iobond_tx", "backend", "switch", "iobond_rx",
+                "receiver"} <= set(bm_stages)
+        assert "iobond_tx" not in vm_stages  # no IO-Bond on the vm path
+
+    def test_bm_receiver_stage_slightly_heavier(self, testbed):
+        """Cold DMA buffers + FPGA descriptor work vs one injection."""
+        bm = testbed.bm.net_path.stage_times(32, 47)
+        vm = testbed.vm.net_path.stage_times(32, 47)
+        assert bm["receiver"] > vm["receiver"]
+
+    def test_bypass_strips_kernel_and_interrupts(self, testbed):
+        path = testbed.bm.net_path
+        assert path.rx_time(32, 64, bypass=True) < path.rx_time(32, 64)
+
+    def test_latency_samples_vary_but_stay_positive(self, testbed):
+        samples = [testbed.bm.net_path.one_way_latency_sample(64) for _ in range(50)]
+        assert len(set(samples)) > 1
+        assert all(s > 0 for s in samples)
+
+
+class TestBlkPathStructure:
+    def test_bm_io_process_returns_result(self, testbed):
+        result = testbed.sim.run_process(testbed.bm.blk_path.io(4096, is_read=True))
+        assert result.nbytes == 4096
+        assert result.is_read
+        assert result.latency_s > 0
+
+    def test_vm_read_slower_on_average(self, testbed):
+        sim = testbed.sim
+
+        def sample(path, n=60):
+            total = 0.0
+            for _ in range(n):
+                result = yield from path.io(4096, True)
+                total += result.latency_s
+            return total / n
+
+        bm_avg = sim.run_process(sample(testbed.bm.blk_path))
+        vm_avg = sim.run_process(sample(testbed.vm.blk_path))
+        assert vm_avg > bm_avg * 1.1
+
+    def test_completion_counters(self, testbed):
+        before = testbed.bm.blk_path.completed
+        testbed.sim.run_process(testbed.bm.blk_path.io(4096, False))
+        assert testbed.bm.blk_path.completed == before + 1
+
+    def test_write_payload_larger_costs_more(self, testbed):
+        sim = testbed.sim
+
+        def one(path, nbytes):
+            result = yield from path.io(nbytes, False)
+            return result.latency_s
+
+        small = min(sim.run_process(one(testbed.bm.blk_path, 4096)) for _ in range(5))
+        large = min(sim.run_process(one(testbed.bm.blk_path, 1 << 20)) for _ in range(5))
+        assert large > small
+
+
+class TestConstants:
+    def test_virtio_net_header_overhead(self):
+        assert VIRTIO_NET_OVERHEAD == 12

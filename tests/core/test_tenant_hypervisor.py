@@ -1,0 +1,68 @@
+"""Tests for tenant hypervisors on bm-guests vs nested in vm-guests."""
+
+import pytest
+
+from repro.core.tenant_hypervisor import (
+    SUPPORTED_TENANT_HYPERVISORS,
+    TenantHypervisor,
+)
+
+
+class TestConstruction:
+    def test_all_paper_flavors_supported(self):
+        for flavor in ("KVM", "Xen", "VMware ESXi", "Hyper-V"):
+            assert flavor in SUPPORTED_TENANT_HYPERVISORS
+            TenantHypervisor(flavor=flavor, host_kind="bm")
+
+    def test_unknown_flavor_rejected(self):
+        with pytest.raises(ValueError, match="unsupported hypervisor"):
+            TenantHypervisor(flavor="MyToyVMM", host_kind="bm")
+
+    def test_host_kind_validated(self):
+        with pytest.raises(ValueError):
+            TenantHypervisor(flavor="KVM", host_kind="container")
+
+
+class TestVtxOwnership:
+    def test_board_gives_real_vtx(self):
+        on_board = TenantHypervisor(flavor="KVM", host_kind="bm")
+        assert on_board.uses_real_vtx
+        assert on_board.nesting_level == 1
+
+    def test_vm_host_means_nesting(self):
+        in_vm = TenantHypervisor(flavor="KVM", host_kind="vm")
+        assert not in_vm.uses_real_vtx
+        assert in_vm.nesting_level == 2
+
+
+class TestEfficiency:
+    def _pair(self):
+        on_board = TenantHypervisor(flavor="KVM", host_kind="bm")
+        in_vm = TenantHypervisor(flavor="KVM", host_kind="vm")
+        for hypervisor in (on_board, in_vm):
+            for i in range(3):
+                hypervisor.launch(f"g{i}", vcpus=4)
+        return on_board, in_vm
+
+    def test_board_hosted_guests_much_faster(self):
+        on_board, in_vm = self._pair()
+        assert on_board.fleet_efficiency() > in_vm.fleet_efficiency()
+
+    def test_cpu_bound_matches_paper_bands(self):
+        """Section 2.3: nested ~80%; single-level virtualization ~97%+."""
+        on_board, in_vm = self._pair()
+        assert in_vm.fleet_efficiency() == pytest.approx(0.80, abs=0.04)
+        assert on_board.fleet_efficiency() > 0.95
+
+    def test_io_bound_collapse_is_nested_only(self):
+        """Section 2.3: nested I/O drops to ~25% of native."""
+        on_board, in_vm = self._pair()
+        assert in_vm.fleet_efficiency(io_intensive=True) == pytest.approx(0.25, abs=0.05)
+        assert on_board.fleet_efficiency(io_intensive=True) > 0.85
+
+    def test_guest_validation(self):
+        hypervisor = TenantHypervisor(flavor="Xen", host_kind="bm")
+        with pytest.raises(ValueError):
+            hypervisor.launch("bad", vcpus=0)
+        with pytest.raises(RuntimeError):
+            hypervisor.fleet_efficiency()

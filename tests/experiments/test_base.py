@@ -1,0 +1,53 @@
+"""Unit tests for the experiment framework."""
+
+from repro.experiments.base import Check, ExperimentResult, check, check_between
+
+
+class TestChecks:
+    def test_check_between_inside(self):
+        result = check_between("x", 5.0, 1.0, 10.0)
+        assert result.passed
+        assert "expected in" in result.detail
+
+    def test_check_between_outside(self):
+        assert not check_between("x", 11.0, 1.0, 10.0).passed
+
+    def test_check_coerces_to_bool(self):
+        assert check("truthy", 1).passed is True
+        assert check("falsy", 0).passed is False
+
+
+class TestResult:
+    def _result(self, passes):
+        return ExperimentResult(
+            experiment_id="figX",
+            title="demo",
+            rows=[{"metric": "a", "value": 1.0}],
+            checks=[Check("c1", passes)],
+        )
+
+    def test_passed_aggregates_checks(self):
+        assert self._result(True).passed
+        assert not self._result(False).passed
+
+    def test_failed_checks_listed(self):
+        failing = self._result(False)
+        assert [c.name for c in failing.failed_checks()] == ["c1"]
+
+    def test_format_table_shows_status(self):
+        assert "checks: PASS (1/1)" in self._result(True).format_table()
+        assert "FAILED c1" in self._result(False).format_table()
+
+    def test_format_handles_mixed_types(self):
+        result = ExperimentResult(
+            "t", "mixed", [{"a": None, "b": 0.00001, "c": "str", "d": 123456.0}]
+        )
+        table = result.format_table()
+        assert "-" in table and "str" in table
+
+    def test_max_rows_truncation(self):
+        result = ExperimentResult(
+            "t", "many", [{"i": i} for i in range(100)]
+        )
+        formatted = result.format_table(max_rows=3)
+        assert formatted.count("\n") < 12

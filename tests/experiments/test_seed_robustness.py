@@ -1,0 +1,21 @@
+"""Every experiment's shape checks must hold on a seed it was never
+tuned against — the guard against overfitting the reproduction to one
+random stream.
+"""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+@pytest.fixture(scope="module")
+def alternate_seed_results():
+    return {exp_id: runner(seed=20260705, quick=True)
+            for exp_id, runner in ALL_EXPERIMENTS.items()}
+
+
+@pytest.mark.parametrize("exp_id", sorted(ALL_EXPERIMENTS))
+def test_shape_holds_on_an_untuned_seed(exp_id, alternate_seed_results):
+    result = alternate_seed_results[exp_id]
+    failed = "; ".join(f"{c.name} ({c.detail})" for c in result.failed_checks())
+    assert result.passed, f"{exp_id} failed on alternate seed: {failed}"

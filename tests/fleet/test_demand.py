@@ -1,0 +1,62 @@
+"""Tests for the fleet demand and placement study."""
+
+import pytest
+
+from repro.fleet.demand import (
+    SINGLE_TENANT_SERVER_HT,
+    TenantRequest,
+    generate_demand,
+    run_placement_study,
+)
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=81)
+
+
+class TestDemandGeneration:
+    def test_95_percent_under_32_ht(self, sim):
+        """The Section 1 statistic the whole design rests on."""
+        requests = generate_demand(sim, 50_000)
+        small = sum(1 for r in requests if r.hyperthreads < 32)
+        assert small / len(requests) == pytest.approx(0.95, abs=0.02)
+
+    def test_requests_bounded_by_server_size(self, sim):
+        requests = generate_demand(sim, 10_000)
+        assert all(1 <= r.hyperthreads <= SINGLE_TENANT_SERVER_HT for r in requests)
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            generate_demand(sim, 0)
+
+    def test_board_covering(self):
+        assert TenantRequest(0, 3).smallest_board() == 4
+        assert TenantRequest(0, 9).smallest_board() == 12
+        assert TenantRequest(0, 32).smallest_board() == 32
+        assert TenantRequest(0, 90).smallest_board() == 96
+
+
+class TestPlacementStudy:
+    def test_bmhive_needs_far_fewer_servers(self, sim):
+        study = run_placement_study(sim, n_tenants=5000)
+        assert study.server_reduction > 5.0
+
+    def test_bmhive_wastes_less_capacity(self, sim):
+        study = run_placement_study(sim, n_tenants=5000)
+        assert study.bmhive_utilization > 2 * study.single_tenant_utilization
+        # The incumbent provisions a whole server per tenant — most of
+        # it idle for the 95% of small tenants.
+        assert study.single_tenant_utilization < 0.25
+
+    def test_accounting_consistency(self, sim):
+        study = run_placement_study(sim, n_tenants=2000)
+        assert sum(study.boards_by_size.values()) == study.n_tenants
+        assert study.bmhive_provisioned_ht >= study.demanded_ht
+        assert study.single_tenant_provisioned_ht == 2000 * SINGLE_TENANT_SERVER_HT
+
+    def test_deterministic(self):
+        a = run_placement_study(Simulator(seed=5), n_tenants=1000)
+        b = run_placement_study(Simulator(seed=5), n_tenants=1000)
+        assert a.boards_by_size == b.boards_by_size

@@ -1,0 +1,75 @@
+"""Tests for the synthetic fleet telemetry (Table 2 / Fig 1)."""
+
+import numpy as np
+import pytest
+
+from repro.fleet import (
+    TABLE2_PAPER_PERCENTS,
+    run_exit_census,
+    run_preemption_study,
+)
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=99)
+
+
+class TestExitCensus:
+    def test_matches_paper_tail_points(self, sim):
+        census = run_exit_census(sim, n_vms=200_000)
+        assert census.percent_above[10_000] == pytest.approx(3.82, abs=0.4)
+        assert census.percent_above[50_000] == pytest.approx(0.37, abs=0.1)
+        assert census.percent_above[100_000] == pytest.approx(0.13, abs=0.08)
+
+    def test_rows_carry_paper_reference(self, sim):
+        census = run_exit_census(sim, n_vms=10_000)
+        rows = census.table2_rows()
+        assert [r["paper_percent"] for r in rows] == [3.82, 0.37, 0.13]
+
+    def test_most_vms_are_quiet(self, sim):
+        census = run_exit_census(sim, n_vms=50_000)
+        assert census.median_rate < 5_000  # below the observability bar
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            run_exit_census(sim, n_vms=0)
+
+    def test_deterministic_given_seed(self):
+        a = run_exit_census(Simulator(seed=5), n_vms=10_000)
+        b = run_exit_census(Simulator(seed=5), n_vms=10_000)
+        assert a.percent_above == b.percent_above
+
+
+class TestPreemptionStudy:
+    def test_fig1_percentile_bands(self, sim):
+        study = run_preemption_study(sim, n_vms=20_000)
+        shared_p99 = np.array(study.shared_p99) * 100
+        shared_p999 = np.array(study.shared_p999) * 100
+        assert 1.5 < shared_p99.min() and shared_p99.max() < 4.5
+        assert 2.0 < shared_p999.min() and shared_p999.max() < 10.5
+        assert np.mean(study.exclusive_p99) * 100 == pytest.approx(0.2, abs=0.1)
+        assert np.mean(study.exclusive_p999) * 100 == pytest.approx(0.5, abs=0.2)
+
+    def test_exclusive_more_stable(self, sim):
+        study = run_preemption_study(sim, n_vms=10_000)
+
+        def spread(series):
+            return (max(series) - min(series)) / (sum(series) / len(series))
+
+        assert spread(study.exclusive_p99) < spread(study.shared_p99)
+
+    def test_diurnal_shape_in_shared_series(self, sim):
+        study = run_preemption_study(sim, n_vms=10_000)
+        # Peak and trough differ visibly across the day.
+        assert max(study.shared_p99) > 1.3 * min(study.shared_p99)
+
+    def test_rows_are_percent_scaled(self, sim):
+        study = run_preemption_study(sim, n_vms=2_000)
+        row = study.fig1_rows()[0]
+        assert 0 < row["shared_p99_percent"] < 100
+
+    def test_minimum_population_enforced(self, sim):
+        with pytest.raises(ValueError):
+            run_preemption_study(sim, n_vms=10)

@@ -1,0 +1,68 @@
+"""Tests for instance provisioning metadata."""
+
+import pytest
+
+from repro.guest.cloudinit import InstanceMetadata, provision_guest
+
+
+@pytest.fixture
+def metadata():
+    return InstanceMetadata(
+        instance_id="i-000042",
+        hostname="web-7",
+        ssh_public_keys=["ssh-ed25519 AAAA... ops@cloud"],
+        network={"eth0": "10.0.3.7/24"},
+        user_data="#!/bin/sh\nsystemctl start nginx\n",
+    )
+
+
+class TestSerialization:
+    def test_round_trip(self, metadata):
+        again = InstanceMetadata.deserialize(metadata.serialize())
+        assert again == metadata
+
+    def test_serialization_is_stable(self, metadata):
+        assert metadata.serialize() == metadata.serialize()
+
+
+class TestProvisioning:
+    def test_first_boot_applies_everything(self, metadata):
+        result = provision_guest(metadata)
+        assert result.hostname == "web-7"
+        assert result.interfaces_configured == 1
+        assert result.user_data_executed
+
+    def test_reboot_is_idempotent(self, metadata):
+        first = provision_guest(metadata)
+        again = provision_guest(metadata, previous_marker=first.idempotency_marker)
+        assert not again.user_data_executed  # user data runs once
+        assert again.hostname == first.hostname
+
+    def test_new_instance_id_reprovisions(self, metadata):
+        first = provision_guest(metadata)
+        moved = InstanceMetadata(
+            instance_id="i-000043",
+            hostname=metadata.hostname,
+            ssh_public_keys=metadata.ssh_public_keys,
+            network=metadata.network,
+            user_data=metadata.user_data,
+        )
+        result = provision_guest(moved, previous_marker=first.idempotency_marker)
+        assert result.user_data_executed  # fresh instance-id -> first boot
+
+    def test_key_digest_order_independent(self):
+        a = InstanceMetadata("i-1", "h", ssh_public_keys=["k1", "k2"])
+        b = InstanceMetadata("i-1", "h", ssh_public_keys=["k2", "k1"])
+        assert (provision_guest(a).authorized_keys_digest
+                == provision_guest(b).authorized_keys_digest)
+
+    def test_no_user_data_never_executes(self):
+        bare = InstanceMetadata("i-1", "h")
+        assert not provision_guest(bare).user_data_executed
+
+    def test_same_metadata_both_service_kinds(self, metadata):
+        """Interoperability: the identical metadata blob provisions a
+        vm-guest and a bm-guest to the same end state."""
+        as_vm = provision_guest(metadata)
+        as_bm = provision_guest(metadata)
+        assert as_vm == as_bm

@@ -1,0 +1,104 @@
+"""Unit tests for VM images and the EFI firmware (signing + boot)."""
+
+import pytest
+
+from repro.guest import EfiFirmware, FirmwareImage, SignatureError, VmImage
+from repro.sim import Simulator
+from repro.virtio.blk import SECTOR_BYTES
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=0)
+
+
+class TestVmImage:
+    def test_sector_reads_are_deterministic(self):
+        image = VmImage("centos7")
+        assert image.read_sector(0) == image.read_sector(0)
+        assert len(image.read_sector(12345)) == SECTOR_BYTES
+
+    def test_different_images_differ(self):
+        assert VmImage("a").read_sector(0) != VmImage("b").read_sector(0)
+
+    def test_out_of_range_sector_rejected(self):
+        image = VmImage("centos7")
+        with pytest.raises(ValueError):
+            image.read_sector(image.size_sectors)
+
+    def test_digest_stable_across_instances(self):
+        """Cold migration invariant: same image -> same identity."""
+        assert VmImage("centos7").digest() == VmImage("centos7").digest()
+        assert VmImage("centos7").digest() != VmImage("ubuntu").digest()
+
+    def test_bootloader_and_kernel_ranges_disjoint(self):
+        image = VmImage("centos7")
+        assert set(image.bootloader_range).isdisjoint(image.kernel_range)
+
+
+class TestFirmwareSigning:
+    def test_valid_update_applies(self, sim):
+        firmware = EfiFirmware(sim, vendor_key=b"key")
+        image = FirmwareImage.signed("2.0", b"build", b"key")
+        firmware.update(image)
+        assert firmware.version == "2.0"
+        assert firmware.updates_applied == 1
+
+    def test_forged_update_rejected(self, sim):
+        firmware = EfiFirmware(sim, vendor_key=b"key")
+        with pytest.raises(SignatureError):
+            firmware.update(FirmwareImage.forged("6.6", b"evil"))
+        assert firmware.version == "1.0.0"
+        assert firmware.update_attempts == 1
+        assert firmware.updates_applied == 0
+
+    def test_tampered_payload_rejected(self, sim):
+        firmware = EfiFirmware(sim, vendor_key=b"key")
+        signed = FirmwareImage.signed("2.0", b"build", b"key")
+        tampered = FirmwareImage("2.0", b"bujld", signed.signature)
+        with pytest.raises(SignatureError):
+            firmware.update(tampered)
+
+    def test_version_substitution_rejected(self, sim):
+        """Replaying an old signature on a new version string fails."""
+        firmware = EfiFirmware(sim, vendor_key=b"key")
+        signed = FirmwareImage.signed("2.0", b"build", b"key")
+        replayed = FirmwareImage("3.0", b"build", signed.signature)
+        with pytest.raises(SignatureError):
+            firmware.update(replayed)
+
+
+class TestBoot:
+    def test_boot_loads_bootloader_and_kernel(self, sim):
+        firmware = EfiFirmware(sim)
+        image = VmImage("centos7")
+        reads = []
+
+        def io_roundtrip(sector, n_sectors):
+            reads.append((sector, n_sectors))
+            yield sim.timeout(100e-6)
+            return image.read_sector(sector)
+
+        from repro.virtio import VirtioBlkDevice, full_init
+
+        blk = full_init(VirtioBlkDevice())
+        record = sim.run_process(firmware.boot(blk, image, io_roundtrip))
+        assert record.kernel_version == image.kernel_version
+        assert record.bootloader_bytes == len(list(image.bootloader_range)) * SECTOR_BYTES
+        assert record.kernel_bytes == len(list(image.kernel_range)) * SECTOR_BYTES
+        assert record.stages[-1] == "kernel_entry"
+        assert record.boot_time_s > 0.06  # EFI init + reads + handoff
+
+    def test_corrupt_bootloader_detected(self, sim):
+        firmware = EfiFirmware(sim)
+        image = VmImage("centos7")
+
+        def bad_io(sector, n_sectors):
+            yield sim.timeout(10e-6)
+            return b"\x00" * SECTOR_BYTES
+
+        from repro.virtio import VirtioBlkDevice, full_init
+
+        blk = full_init(VirtioBlkDevice())
+        with pytest.raises(IOError, match="corrupt"):
+            sim.run_process(firmware.boot(blk, image, bad_io))

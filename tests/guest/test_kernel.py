@@ -1,0 +1,44 @@
+"""Unit tests for the guest kernel cost model."""
+
+import pytest
+
+from repro.guest import GuestKernel, KernelSpec
+from repro.hw import cpu_spec
+
+
+@pytest.fixture
+def kernel():
+    return GuestKernel(cpu_spec("Xeon E5-2682 v4"))
+
+
+class TestScaling:
+    def test_costs_scale_with_single_thread_index(self):
+        slow = GuestKernel(cpu_spec("Xeon E5-2682 v4"))
+        fast = GuestKernel(cpu_spec("Xeon E3-1240 v6"))
+        assert fast.udp_tx_time(64) == pytest.approx(slow.udp_tx_time(64) / 1.31)
+
+    def test_larger_packets_cost_more(self, kernel):
+        assert kernel.udp_tx_time(1400) > kernel.udp_tx_time(64)
+        assert kernel.tcp_rx_time(1400) > kernel.tcp_rx_time(64)
+
+    def test_rx_costs_more_than_tx(self, kernel):
+        """Receive adds interrupt handling on top of the stack walk."""
+        assert kernel.udp_rx_time(64) > kernel.udp_tx_time(64)
+
+    def test_tcp_costs_more_than_udp(self, kernel):
+        assert kernel.tcp_tx_time(64) > kernel.udp_tx_time(64)
+
+    def test_connection_churn_is_expensive(self, kernel):
+        """KeepAlive-off NGINX pays this per request (Fig 12 driver)."""
+        assert kernel.tcp_connection_time() > 3 * kernel.tcp_tx_time(64)
+
+    def test_bypass_is_order_of_magnitude_cheaper(self, kernel):
+        assert kernel.bypass_tx_time(64) < kernel.udp_tx_time(64) / 5
+        assert kernel.bypass_rx_time(64) < kernel.udp_rx_time(64) / 5
+
+    def test_block_path_costs(self, kernel):
+        assert kernel.blk_submit_time(4096) > 0
+        assert kernel.blk_complete_time() > 0
+
+    def test_default_kernel_version_matches_paper(self, kernel):
+        assert kernel.kernel_version == "3.10.0-514.26.2.el7"

@@ -1,0 +1,99 @@
+"""Unit tests for compute boards, the base server, and the chassis."""
+
+import pytest
+
+from repro.hw import BaseServer, Chassis, ChassisSpec, ComputeBoard, PowerState
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=0)
+
+
+class TestComputeBoard:
+    def test_board_carries_cpu_memory_pcie(self, sim):
+        board = ComputeBoard(sim, "Xeon E5-2682 v4", 64)
+        assert board.hyperthreads == 32
+        assert board.memory.spec.capacity_gib == 64
+        assert board.pcie is not None
+
+    def test_tdp_includes_fpga(self, sim):
+        board = ComputeBoard(sim, "Xeon E5-2682 v4", 64)
+        assert board.tdp_watts == pytest.approx(120.0 + 20.0)
+
+    def test_dual_socket_board(self, sim):
+        board = ComputeBoard(sim, "Xeon Platinum 8160T", 384, sockets=2)
+        assert board.hyperthreads == 96
+        assert board.tdp_watts == pytest.approx(320.0)
+
+    def test_power_cycle(self, sim):
+        board = ComputeBoard(sim, "Xeon E5-2682 v4", 64)
+        assert board.power is PowerState.OFF
+        board.power_on()
+        assert board.is_on
+        with pytest.raises(RuntimeError):
+            board.power_on()
+        board.power_off()
+        with pytest.raises(RuntimeError):
+            board.power_off()
+
+
+class TestChassis:
+    def test_sixteen_slot_limit(self, sim):
+        """The paper's density cap: at most 16 bm-guests per server."""
+        chassis = Chassis(sim, ChassisSpec(max_slots=16, power_budget_watts=1e6))
+        for _ in range(16):
+            chassis.admit(ComputeBoard(sim, "Xeon E3-1240 v6", 32))
+        with pytest.raises(RuntimeError, match="chassis full"):
+            chassis.admit(ComputeBoard(sim, "Xeon E3-1240 v6", 32))
+
+    def test_power_budget_enforced(self, sim):
+        chassis = Chassis(sim, ChassisSpec(max_slots=16, power_budget_watts=300.0))
+        chassis.admit(ComputeBoard(sim, "Xeon E5-2682 v4", 64))  # 140 W + base 65 W
+        with pytest.raises(RuntimeError, match="power budget"):
+            chassis.admit(ComputeBoard(sim, "Xeon E5-2682 v4", 64))
+
+    def test_eight_e5_boards_fit_default_chassis(self, sim):
+        """Section 3.5: 8 boards x 32 HT on one server."""
+        chassis = Chassis(sim)
+        for _ in range(8):
+            chassis.admit(ComputeBoard(sim, "Xeon E5-2682 v4", 64))
+        assert chassis.sellable_hyperthreads == 256
+
+    def test_cannot_remove_powered_board(self, sim):
+        chassis = Chassis(sim)
+        board = ComputeBoard(sim, "Xeon E5-2682 v4", 64)
+        chassis.admit(board)
+        board.power_on()
+        with pytest.raises(RuntimeError):
+            chassis.remove(board)
+        board.power_off()
+        chassis.remove(board)
+        assert chassis.boards == []
+
+    def test_max_boards_by_power(self, sim):
+        chassis = Chassis(sim, ChassisSpec(max_slots=16, power_budget_watts=500.0))
+        # (500 - 65 base) / 140 per board = 3 boards.
+        assert chassis.max_boards(140.0) == 3
+
+    def test_can_admit_is_consistent_with_admit(self, sim):
+        chassis = Chassis(sim, ChassisSpec(max_slots=2, power_budget_watts=1e6))
+        boards = [ComputeBoard(sim, "Atom C3558", 16) for _ in range(3)]
+        assert chassis.can_admit(boards[0])
+        chassis.admit(boards[0])
+        chassis.admit(boards[1])
+        assert not chassis.can_admit(boards[2])
+
+
+class TestBaseServer:
+    def test_base_is_the_simplified_16_core_server(self, sim):
+        base = BaseServer(sim)
+        assert base.cpu_spec.cores == 16
+        assert base.nic_gbps == 100.0
+
+    def test_board_links_are_x8(self, sim):
+        base = BaseServer(sim)
+        link = base.attach_board_link("slot0")
+        assert link.spec.lanes == 8
+        assert len(base.board_links) == 1

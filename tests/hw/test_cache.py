@@ -1,0 +1,88 @@
+"""Unit tests for the shared LLC model."""
+
+import pytest
+
+from repro.hw import CacheSpec, SharedCache
+
+
+@pytest.fixture
+def cache():
+    return SharedCache(CacheSpec(size_bytes=64 * 1024, ways=4, line_bytes=64))
+
+
+class TestGeometry:
+    def test_set_count(self):
+        spec = CacheSpec(size_bytes=64 * 1024, ways=4, line_bytes=64)
+        assert spec.n_sets == 256
+
+    def test_set_index_wraps(self):
+        spec = CacheSpec(size_bytes=64 * 1024, ways=4, line_bytes=64)
+        assert spec.set_index(0) == spec.set_index(64 * spec.n_sets)
+
+    def test_degenerate_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SharedCache(CacheSpec(size_bytes=64, ways=4, line_bytes=64))
+
+
+class TestAccessSemantics:
+    def test_first_access_misses_second_hits(self, cache):
+        assert not cache.access("a", 0x1000)
+        assert cache.access("a", 0x1000)
+
+    def test_same_line_different_tenants_do_not_hit(self, cache):
+        cache.access("a", 0x1000)
+        assert not cache.access("b", 0x1000)
+
+    def test_lru_eviction_within_set(self, cache):
+        spec = cache.spec
+        stride = spec.line_bytes * spec.n_sets
+        addresses = [i * stride for i in range(spec.ways + 1)]
+        for address in addresses:
+            cache.access("a", address)
+        # The first line was LRU and must have been evicted.
+        assert not cache.access("a", addresses[0])
+
+    def test_occupancy_tracks_tenant_lines(self, cache):
+        for i in range(10):
+            cache.access("a", i * cache.spec.line_bytes)
+        assert cache.occupancy("a") == 10
+        assert cache.occupancy("b") == 0
+
+    def test_flush_tenant_drops_lines(self, cache):
+        for i in range(10):
+            cache.access("a", i * cache.spec.line_bytes)
+        dropped = cache.flush_tenant("a")
+        assert dropped == 10
+        assert cache.occupancy("a") == 0
+
+    def test_eviction_counters_attribute_victims(self, cache):
+        spec = cache.spec
+        stride = spec.line_bytes * spec.n_sets
+        cache.access("victim", 0)
+        for i in range(1, spec.ways + 1):
+            cache.access("attacker", i * stride)
+        assert cache.evictions.get("victim", 0) == 1
+
+
+class TestPrimeProbe:
+    def test_probe_clean_after_prime(self, cache):
+        cache.prime("attacker", target_set=5)
+        assert cache.probe("attacker", target_set=5) == 0
+
+    def test_probe_detects_victim_activity(self, cache):
+        spec = cache.spec
+        cache.prime("attacker", target_set=5)
+        stride = spec.line_bytes * spec.n_sets
+        base = 5 * spec.line_bytes + 99 * stride
+        for way in range(spec.ways):
+            cache.access("victim", base + way * stride)
+        assert cache.probe("attacker", target_set=5) == spec.ways
+
+    def test_prime_validates_set_index(self, cache):
+        with pytest.raises(ValueError):
+            cache.prime("attacker", target_set=10_000)
+
+    def test_miss_rate_accounting(self, cache):
+        cache.access("a", 0)
+        cache.access("a", 0)
+        assert cache.miss_rate == pytest.approx(0.5)

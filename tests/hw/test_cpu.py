@@ -1,0 +1,82 @@
+"""Unit tests for the CPU catalog and execution model."""
+
+import pytest
+
+from repro.hw import CPU_CATALOG, Cpu, cpu_spec
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=0)
+
+
+class TestCatalog:
+    def test_unknown_model_gives_helpful_error(self):
+        with pytest.raises(KeyError, match="catalog has"):
+            cpu_spec("Xeon E5-9999")
+
+    def test_reference_cpu_is_normalized(self):
+        assert cpu_spec("Xeon E5-2682 v4").single_thread_index == 1.0
+
+    def test_e3_single_thread_uplift_matches_paper(self):
+        """Section 4.2: E3-1240 v6 is 31% faster single-thread."""
+        e3 = cpu_spec("Xeon E3-1240 v6")
+        e5 = cpu_spec("Xeon E5-2682 v4")
+        assert e3.single_thread_index / e5.single_thread_index == pytest.approx(1.31)
+
+    def test_i7_vs_e5_2699_matches_paper(self):
+        """Section 1: i7-8086K is 1.6x the E5-2699 v4 in CPU Mark."""
+        i7 = cpu_spec("Core i7-8086K")
+        e5 = cpu_spec("Xeon E5-2699 v4")
+        assert i7.single_thread_index / e5.single_thread_index == pytest.approx(1.6, rel=0.02)
+
+    def test_evaluation_cpu_shape(self):
+        spec = cpu_spec("Xeon E5-2682 v4")
+        assert spec.cores == 16
+        assert spec.threads == 32
+        assert spec.smt == 2
+        assert spec.base_clock_ghz == 2.5
+
+    def test_platinum_tdp_for_power_analysis(self):
+        assert cpu_spec("Xeon Platinum 8160T").tdp_watts == 150.0
+
+    def test_all_entries_are_self_consistent(self):
+        for spec in CPU_CATALOG.values():
+            assert spec.threads % spec.cores == 0
+            assert spec.smt in (1, 2)
+            assert spec.tdp_per_thread() > 0
+            assert 1 <= spec.sockets_supported <= 2
+
+
+class TestCpuExecution:
+    def test_socket_limit_enforced(self, sim):
+        with pytest.raises(ValueError):
+            Cpu(sim, cpu_spec("Xeon E3-1240 v6"), sockets=2)
+
+    def test_dual_socket_doubles_threads(self, sim):
+        cpu = Cpu(sim, cpu_spec("Xeon E5-2682 v4"), sockets=2)
+        assert cpu.n_threads == 64
+        assert cpu.n_cores == 32
+
+    def test_service_time_scales_with_index(self, sim):
+        fast = Cpu(sim, cpu_spec("Core i7-8086K"))
+        slow = Cpu(sim, cpu_spec("Atom C3558"))
+        assert fast.service_time(1.0) < slow.service_time(1.0)
+
+    def test_negative_work_rejected(self, sim):
+        cpu = Cpu(sim, cpu_spec("Xeon E5-2682 v4"))
+        with pytest.raises(ValueError):
+            cpu.service_time(-1.0)
+
+    def test_execute_occupies_a_thread(self, sim):
+        cpu = Cpu(sim, cpu_spec("Xeon E3-1240 v6"))  # 8 threads
+
+        def worker(sim):
+            yield from cpu.execute(1.0)
+
+        for _ in range(16):
+            sim.spawn(worker(sim))
+        sim.run()
+        # 16 units of work over 8 threads at index 1.31.
+        assert sim.now == pytest.approx(2 * 1.0 / 1.31, rel=0.01)

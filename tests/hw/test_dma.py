@@ -1,0 +1,60 @@
+"""Unit tests for the DMA engine (IO-Bond's 50 Gb/s copier)."""
+
+import pytest
+
+from repro.hw import DmaEngine, DmaEngineSpec
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=0)
+
+
+class TestDmaEngine:
+    def test_paper_throughput_default(self):
+        assert DmaEngineSpec().throughput_gbps == 50.0
+
+    def test_copy_time_has_setup_floor(self, sim):
+        engine = DmaEngine(sim)
+        assert engine.copy_time(0) == engine.spec.setup_latency_s
+        assert engine.copy_time(1) > engine.spec.setup_latency_s
+
+    def test_negative_size_rejected(self, sim):
+        with pytest.raises(ValueError):
+            DmaEngine(sim).copy_time(-5)
+
+    def test_large_copy_approaches_line_rate(self, sim):
+        engine = DmaEngine(sim)
+        nbytes = 100 << 20
+        gbps = nbytes * 8.0 / engine.copy_time(nbytes) / 1e9
+        assert gbps == pytest.approx(50.0, rel=0.01)
+
+    def test_effective_throughput_below_peak(self, sim):
+        engine = DmaEngine(sim)
+        assert engine.effective_throughput_gbps < 50.0
+        assert engine.effective_throughput_gbps > 30.0
+
+    def test_copies_serialize_on_one_channel(self, sim):
+        engine = DmaEngine(sim)
+
+        def copier(sim):
+            yield from engine.copy(1 << 20)
+
+        for _ in range(3):
+            sim.spawn(copier(sim))
+        sim.run()
+        assert sim.now == pytest.approx(3 * engine.copy_time(1 << 20))
+        assert engine.copies == 3
+        assert engine.bytes_copied == 3 << 20
+
+    def test_multi_channel_engine_parallelizes(self, sim):
+        engine = DmaEngine(sim, DmaEngineSpec(channels=2))
+
+        def copier(sim):
+            yield from engine.copy(1 << 20)
+
+        for _ in range(2):
+            sim.spawn(copier(sim))
+        sim.run()
+        assert sim.now == pytest.approx(engine.copy_time(1 << 20))

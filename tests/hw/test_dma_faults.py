@@ -1,0 +1,58 @@
+"""Failure-injection tests for the DMA engine retry path."""
+
+import pytest
+
+from repro.hw import DmaEngine, DmaEngineSpec, DmaTransferError
+from repro.sim import Simulator
+
+
+class TestFaultInjection:
+    def test_no_errors_by_default(self):
+        sim = Simulator(seed=71)
+        engine = DmaEngine(sim)
+        for _ in range(50):
+            sim.run_process(engine.copy(4096))
+        assert engine.transient_errors == 0
+        assert engine.copies == 50
+
+    def test_transient_errors_are_retried_transparently(self):
+        sim = Simulator(seed=72)
+        engine = DmaEngine(sim, DmaEngineSpec(error_rate=0.3, max_retries=12))
+        for _ in range(100):
+            sim.run_process(engine.copy(4096))
+        # Every copy still completed exactly once...
+        assert engine.copies == 100
+        assert engine.bytes_copied == 100 * 4096
+        # ...but the engine really did hit (and absorb) faults.
+        assert engine.transient_errors > 10
+
+    def test_retries_cost_time(self):
+        clean_sim = Simulator(seed=73)
+        clean = DmaEngine(clean_sim, DmaEngineSpec(error_rate=0.0))
+        for _ in range(200):
+            clean_sim.run_process(clean.copy(4096))
+        faulty_sim = Simulator(seed=73)
+        faulty = DmaEngine(faulty_sim, DmaEngineSpec(error_rate=0.3, max_retries=12))
+        for _ in range(200):
+            faulty_sim.run_process(faulty.copy(4096))
+        assert faulty_sim.now > clean_sim.now
+
+    def test_persistent_failure_raises(self):
+        sim = Simulator(seed=74)
+        engine = DmaEngine(sim, DmaEngineSpec(error_rate=1.0, max_retries=2))
+        with pytest.raises(DmaTransferError, match="failed"):
+            sim.run_process(engine.copy(4096))
+
+    def test_datapath_survives_a_flaky_bond(self):
+        """End-to-end: a bm-guest boots even with a noisy DMA engine."""
+        from repro.core import BmHiveServer
+        from repro.guest import VmImage
+        from repro.iobond import IoBondSpec
+
+        sim = Simulator(seed=75)
+        flaky = IoBondSpec(dma=DmaEngineSpec(error_rate=0.05))
+        hive = BmHiveServer(sim, iobond_spec=flaky)
+        guest = hive.launch_guest()
+        record = sim.run_process(hive.boot_guest(guest, VmImage("resilient")))
+        assert record.stages[-1] == "kernel_entry"
+        assert guest.bond.dma.transient_errors > 0

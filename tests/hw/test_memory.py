@@ -1,0 +1,54 @@
+"""Unit tests for the memory subsystem model."""
+
+import pytest
+
+from repro.hw import STREAM_KERNELS, MemorySpec, MemorySubsystem
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def memory():
+    sim = Simulator(seed=0)
+    # The evaluation configuration: 4 channels of DDR4-2400.
+    return MemorySubsystem(sim, MemorySpec(capacity_gib=64, channels=4, speed_mts=2400))
+
+
+class TestBandwidth:
+    def test_peak_is_channels_times_speed(self, memory):
+        assert memory.peak_bandwidth == pytest.approx(4 * 2400e6 * 8)
+
+    def test_stream_kernels_below_peak(self, memory):
+        for kernel in STREAM_KERNELS:
+            assert memory.stream_bandwidth(kernel) < memory.peak_bandwidth
+
+    def test_unknown_kernel_rejected(self, memory):
+        with pytest.raises(KeyError, match="unknown STREAM kernel"):
+            memory.stream_bandwidth("quadriad")
+
+    def test_single_thread_cannot_saturate(self, memory):
+        single = memory.stream_bandwidth("copy", threads=1)
+        many = memory.stream_bandwidth("copy", threads=16)
+        assert single < many
+
+    def test_sixteen_threads_hit_channel_limit(self, memory):
+        sixteen = memory.stream_bandwidth("triad", threads=16)
+        thirty_two = memory.stream_bandwidth("triad", threads=32)
+        assert sixteen == thirty_two  # channel-bound, not thread-bound
+
+    def test_thread_validation(self, memory):
+        with pytest.raises(ValueError):
+            memory.stream_bandwidth("copy", threads=0)
+
+    def test_transfer_time_linear_in_bytes(self, memory):
+        one = memory.transfer_time(1 << 20)
+        two = memory.transfer_time(2 << 20)
+        assert two == pytest.approx(2 * one)
+
+    def test_negative_bytes_rejected(self, memory):
+        with pytest.raises(ValueError):
+            memory.transfer_time(-1)
+
+    def test_paper_scale_bandwidth(self, memory):
+        """Four DDR4-2400 channels sustain ~65-70 GB/s on STREAM."""
+        gbs = memory.stream_bandwidth("triad", threads=16) / 1e9
+        assert 60 < gbs < 72

@@ -1,0 +1,68 @@
+"""Tests for the NUMA topology model."""
+
+import pytest
+
+from repro.hw.numa import NumaNode, NumaTopology, dual_socket, single_socket
+
+
+class TestTopologies:
+    def test_single_socket_is_uniform(self):
+        topo = single_socket()
+        assert topo.is_uniform
+        assert topo.mean_remote_distance() == 1.0
+
+    def test_dual_socket_shape(self):
+        topo = dual_socket()
+        assert topo.n_nodes == 2
+        assert topo.distances[0][1] == pytest.approx(1.6)
+
+    def test_distance_matrix_validation(self):
+        nodes = (NumaNode(0, 16, 64), NumaNode(1, 16, 64))
+        with pytest.raises(ValueError, match="shape"):
+            NumaTopology(nodes=nodes, distances=((1.0,),))
+        with pytest.raises(ValueError, match="local distance"):
+            NumaTopology(nodes=nodes, distances=((2.0, 1.6), (1.6, 1.0)))
+        with pytest.raises(ValueError, match="symmetric"):
+            NumaTopology(nodes=nodes, distances=((1.0, 1.6), (1.4, 1.0)))
+        with pytest.raises(ValueError, match="beat local"):
+            NumaTopology(nodes=nodes, distances=((1.0, 0.5), (0.5, 1.0)))
+
+
+class TestMemoryTax:
+    def test_board_pays_nothing(self):
+        assert single_socket().memory_tax(1.0) == 0.0
+
+    def test_dual_socket_tax_at_full_intensity(self):
+        """12.5% remote at 1.6x local -> 7.5% — the Fig 7 gap driver."""
+        assert dual_socket().memory_tax(1.0) == pytest.approx(0.075)
+
+    def test_tax_scales_with_intensity(self):
+        topo = dual_socket()
+        assert topo.memory_tax(0.5) == pytest.approx(topo.memory_tax(1.0) / 2)
+        assert topo.memory_tax(0.0) == 0.0
+
+    def test_worse_interconnect_worse_tax(self):
+        slow = dual_socket(remote_penalty=2.2)
+        assert slow.memory_tax(1.0) > dual_socket().memory_tax(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dual_socket().memory_tax(1.5)
+        with pytest.raises(ValueError):
+            dual_socket().memory_tax(0.5, remote_fraction=2.0)
+
+
+class TestGuestIntegration:
+    def test_physical_machine_uses_its_topology(self):
+        from repro.core import BmGuest, PhysicalMachine
+        from repro.sim import Simulator
+
+        sim = Simulator(seed=0)
+        pm = PhysicalMachine(sim)
+        bm = BmGuest(sim)
+        assert pm.topology.n_nodes == 2
+        assert bm.topology.is_uniform
+        # The derived tax reproduces the Fig 7 relationship.
+        assert pm.cpu_time(1.0, 1.0) == pytest.approx(
+            1.0 + pm.topology.memory_tax(1.0)
+        )

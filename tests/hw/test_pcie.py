@@ -1,0 +1,82 @@
+"""Unit tests for the PCIe link model."""
+
+import pytest
+
+from repro.hw import PcieLink, PcieLinkSpec
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=0)
+
+
+class TestSpec:
+    def test_x4_matches_paper_32gbps(self):
+        """Section 3.4.3: 'each x4 interface is 32Gbps'."""
+        assert PcieLinkSpec(lanes=4).bandwidth_bps == pytest.approx(32e9)
+
+    def test_x8_doubles_x4(self):
+        assert PcieLinkSpec(lanes=8).bandwidth_bps == pytest.approx(64e9)
+
+
+class TestSerialization:
+    def test_includes_tlp_headers(self, sim):
+        link = PcieLink(sim, PcieLinkSpec(lanes=4))
+        payload_only = 256 / link.spec.bandwidth_bytes
+        assert link.serialization_time(256) > payload_only
+
+    def test_multiple_tlps_for_large_payloads(self, sim):
+        link = PcieLink(sim, PcieLinkSpec(lanes=4))
+        one_tlp = link.serialization_time(256)
+        # 1024 bytes = 4 TLPs worth of headers.
+        assert link.serialization_time(1024) > 4 * one_tlp * 0.95
+
+    def test_negative_payload_rejected(self, sim):
+        link = PcieLink(sim, PcieLinkSpec(lanes=4))
+        with pytest.raises(ValueError):
+            link.serialization_time(-1)
+
+
+class TestTransfers:
+    def test_posted_write_time(self, sim):
+        link = PcieLink(sim, PcieLinkSpec(lanes=4))
+
+        def mover(sim):
+            yield from link.transfer(4096)
+            return sim.now
+
+        elapsed = sim.run_process(mover(sim))
+        expected = link.serialization_time(4096) + link.spec.tlp_latency_s
+        assert elapsed == pytest.approx(expected)
+        assert link.bytes_moved == 4096
+        assert link.transactions == 1
+
+    def test_read_pays_round_trip(self):
+        sim_a, sim_b = Simulator(seed=0), Simulator(seed=0)
+        link_a = PcieLink(sim_a, PcieLinkSpec(lanes=4))
+        link_b = PcieLink(sim_b, PcieLinkSpec(lanes=4))
+
+        def timed(sim, fn):
+            def proc(sim):
+                yield from fn(512)
+                return sim.now
+
+            return sim.run_process(proc(sim))
+
+        t_write = timed(sim_a, link_a.transfer)
+        t_read = timed(sim_b, link_b.read)
+        # A non-posted read pays one extra TLP latency for the completion.
+        assert t_read == pytest.approx(t_write + link_b.spec.tlp_latency_s)
+
+    def test_wire_serializes_concurrent_transfers(self, sim):
+        link = PcieLink(sim, PcieLinkSpec(lanes=4))
+
+        def mover(sim):
+            yield from link.transfer(1 << 16)
+
+        for _ in range(2):
+            sim.spawn(mover(sim))
+        sim.run()
+        single = link.serialization_time(1 << 16) + link.spec.tlp_latency_s
+        assert sim.now == pytest.approx(2 * single)

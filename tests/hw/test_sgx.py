@@ -1,0 +1,56 @@
+"""Unit tests for the SGX support model (Section 6)."""
+
+import pytest
+
+from repro.hw import SgxEnclave, sgx_deployment_for
+
+
+class TestDeploymentMatrix:
+    def test_bm_is_zero_effort(self):
+        deployment = sgx_deployment_for("bm")
+        assert deployment.supported
+        assert deployment.works_out_of_the_box
+        assert deployment.requirements == []
+
+    def test_vm_needs_the_special_build_chain(self):
+        deployment = sgx_deployment_for("vm")
+        assert deployment.supported
+        assert not deployment.works_out_of_the_box
+        assert any("KVM" in r for r in deployment.requirements)
+        assert any("driver" in r for r in deployment.requirements)
+
+    def test_physical_matches_bm_transitions(self):
+        assert (
+            sgx_deployment_for("physical").transition_time_s
+            == sgx_deployment_for("bm").transition_time_s
+        )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            sgx_deployment_for("container")
+
+
+class TestEnclaveCalls:
+    def test_transitions_cost_more_on_vm(self):
+        bm = SgxEnclave(sgx_deployment_for("bm"))
+        vm = SgxEnclave(sgx_deployment_for("vm"))
+        assert vm.call(10e-6) > bm.call(10e-6)
+
+    def test_ocalls_multiply_transitions(self):
+        enclave = SgxEnclave(sgx_deployment_for("bm"))
+        plain = enclave.call(10e-6, n_ocalls=0)
+        chatty = enclave.call(10e-6, n_ocalls=5)
+        assert chatty > plain
+        assert enclave.transitions == 1 + 6
+
+    def test_transition_accounting(self):
+        enclave = SgxEnclave(sgx_deployment_for("bm"))
+        enclave.call(5e-6, n_ocalls=2)
+        assert enclave.time_in_transitions_s == pytest.approx(
+            3 * enclave.deployment.transition_time_s
+        )
+
+    def test_validation(self):
+        enclave = SgxEnclave(sgx_deployment_for("bm"))
+        with pytest.raises(ValueError):
+            enclave.call(-1.0)

@@ -1,0 +1,118 @@
+"""Unit tests for the bm-hypervisor process."""
+
+import pytest
+
+from repro.hw import ComputeBoard
+from repro.hypervisor import BmHypervisor, GuestState
+from repro.iobond import IoBond
+from repro.sim import Simulator
+from repro.virtio import TX_QUEUE, VirtioNetDevice, ethernet_frame, full_init
+
+
+@pytest.fixture
+def parts():
+    sim = Simulator(seed=4)
+    bond = IoBond(sim)
+    device = full_init(VirtioNetDevice())
+    bond.add_port("net", device)
+    hypervisor = BmHypervisor(sim, bond, guest_name="g0")
+    board = ComputeBoard(sim, "Xeon E5-2682 v4", 64)
+    return sim, bond, device, hypervisor, board
+
+
+class TestLifecycle:
+    def test_full_cycle(self, parts):
+        sim, bond, device, hypervisor, board = parts
+        assert hypervisor.state is GuestState.UNASSIGNED
+        hypervisor.power_on(board)
+        assert board.is_on
+        hypervisor.mark_booting()
+        hypervisor.mark_running()
+        assert hypervisor.state is GuestState.RUNNING
+        hypervisor.power_off(board)
+        assert hypervisor.state is GuestState.STOPPED
+        assert not board.is_on
+
+    def test_invalid_transitions_rejected(self, parts):
+        _, _, _, hypervisor, board = parts
+        with pytest.raises(RuntimeError):
+            hypervisor.mark_booting()  # not powered on
+        hypervisor.power_on(board)
+        with pytest.raises(RuntimeError):
+            hypervisor.mark_running()  # not booting
+        with pytest.raises(RuntimeError):
+            hypervisor.power_on(board)  # already on
+
+    def test_restart_after_stop(self, parts):
+        _, _, _, hypervisor, board = parts
+        hypervisor.power_on(board)
+        hypervisor.power_off(board)
+        hypervisor.power_on(board)
+        assert hypervisor.state is GuestState.POWERED_ON
+
+
+class TestPollLoop:
+    def test_services_shadow_entries_via_handler(self, parts):
+        sim, bond, device, hypervisor, _ = parts
+        port = bond.port("net")
+        handled = []
+        hypervisor.register_handler("net", TX_QUEUE, lambda entry: handled.append(entry))
+        hypervisor.start()
+
+        def guest(sim):
+            device.driver_send(ethernet_frame(64))
+            yield from bond.guest_pci_access(port, "queue_notify", TX_QUEUE)
+            yield sim.timeout(1e-4)
+
+        sim.run_process(guest(sim))
+        assert len(handled) == 1
+        assert hypervisor.entries_handled == 1
+
+    def test_drains_forwarded_pci_accesses(self, parts):
+        sim, bond, device, hypervisor, _ = parts
+        port = bond.port("net")
+        hypervisor.start()
+
+        def guest(sim):
+            yield from bond.guest_pci_access(port, "device_status")
+            yield sim.timeout(1e-4)
+
+        sim.run_process(guest(sim))
+        assert hypervisor.pci_requests_handled == 1
+
+    def test_handler_generators_are_driven(self, parts):
+        sim, bond, device, hypervisor, _ = parts
+        port = bond.port("net")
+        finished = []
+
+        def handler(entry):
+            def work():
+                yield sim.timeout(5e-6)
+                finished.append(sim.now)
+
+            return work()
+
+        hypervisor.register_handler("net", TX_QUEUE, handler)
+        hypervisor.start()
+
+        def guest(sim):
+            device.driver_send(ethernet_frame(64))
+            yield from bond.guest_pci_access(port, "queue_notify", TX_QUEUE)
+            yield sim.timeout(1e-4)
+
+        sim.run_process(guest(sim))
+        assert finished
+
+    def test_double_start_rejected(self, parts):
+        _, _, _, hypervisor, _ = parts
+        hypervisor.start()
+        with pytest.raises(RuntimeError):
+            hypervisor.start()
+
+    def test_stop_terminates_loop(self, parts):
+        sim, _, _, hypervisor, _ = parts
+        hypervisor.start()
+        sim.run(until=1e-5)
+        hypervisor.stop()
+        drained = sim.now
+        sim.run(until=drained + 1e-4)  # no runaway events

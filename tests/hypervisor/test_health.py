@@ -1,0 +1,74 @@
+"""Tests for the board watchdog (failure injection + recovery)."""
+
+import pytest
+
+from repro.hw import ComputeBoard
+from repro.hypervisor import BoardHealth, Watchdog, WatchdogSpec
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def parts():
+    sim = Simulator(seed=61)
+    board = ComputeBoard(sim, "Xeon E5-2682 v4", 64)
+    board.power_on()
+    watchdog = Watchdog(sim, board)
+    return sim, board, watchdog
+
+
+class TestHealthyOperation:
+    def test_heartbeats_keep_board_healthy(self, parts):
+        sim, board, watchdog = parts
+        sim.run_process(watchdog.monitor(periods=10))
+        assert watchdog.state is BoardHealth.HEALTHY
+        assert watchdog.resets == 0
+        assert board.is_on
+
+    def test_single_miss_only_marks_suspect(self, parts):
+        sim, board, watchdog = parts
+
+        def scenario(sim):
+            watchdog.hang()
+            yield sim.spawn(watchdog.monitor(periods=1))
+            watchdog.revive()
+
+        sim.run_process(scenario(sim))
+        assert watchdog.state is BoardHealth.SUSPECT
+        assert watchdog.resets == 0
+
+
+class TestRecovery:
+    def test_hung_board_is_power_cycled(self, parts):
+        sim, board, watchdog = parts
+        watchdog.hang()
+        sim.run_process(watchdog.monitor(periods=5))
+        assert watchdog.resets == 1
+        assert board.is_on  # back up after the cycle
+        assert watchdog.state is BoardHealth.HEALTHY
+
+    def test_reset_happens_after_configured_misses(self, parts):
+        sim, board, watchdog = parts
+        watchdog.hang()
+        sim.run_process(watchdog.monitor(periods=2))
+        assert watchdog.resets == 0  # 2 misses < 3 threshold
+        sim.run_process(watchdog.monitor(periods=1))
+        assert watchdog.resets == 1
+
+    def test_reset_takes_the_dwell_time(self):
+        sim = Simulator(seed=62)
+        board = ComputeBoard(sim, "Xeon E5-2682 v4", 64)
+        board.power_on()
+        spec = WatchdogSpec(heartbeat_interval_s=1.0, misses_before_reset=1,
+                            reset_hold_s=7.0)
+        watchdog = Watchdog(sim, board, spec=spec)
+        watchdog.hang()
+        sim.run_process(watchdog.monitor(periods=1))
+        assert sim.now == pytest.approx(1.0 + 7.0)
+
+    def test_history_records_the_incident(self, parts):
+        sim, board, watchdog = parts
+        watchdog.hang()
+        sim.run_process(watchdog.monitor(periods=6))
+        assert BoardHealth.SUSPECT in watchdog.history
+        assert BoardHealth.RESET in watchdog.history
+        assert watchdog.history[-1] is BoardHealth.HEALTHY

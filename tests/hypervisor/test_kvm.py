@@ -1,0 +1,99 @@
+"""Unit tests for the KVM cost model and host scheduler."""
+
+import pytest
+
+from repro.hypervisor import HostScheduler, HostSchedulerSpec, KvmModel, KvmSpec
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def model():
+    return KvmModel()
+
+
+class TestExitModel:
+    def test_paper_anchor_50k_exits_is_half_cpu(self, model):
+        """Table 2 narration: 50K exits/s ~ 50% of CPU time."""
+        assert model.cpu_efficiency(50_000) == pytest.approx(0.5)
+
+    def test_zero_exits_full_efficiency(self, model):
+        assert model.cpu_efficiency(0) == 1.0
+
+    def test_efficiency_floors_at_zero(self, model):
+        assert model.cpu_efficiency(1e6) == 0.0
+
+    def test_negative_rate_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.cpu_efficiency(-1)
+
+    def test_observability_threshold_from_paper(self, model):
+        assert not model.is_overhead_observable(4_000)
+        assert model.is_overhead_observable(6_000)
+
+
+class TestComputeSlowdown:
+    def test_memory_bound_pays_more_ept(self, model):
+        assert model.compute_slowdown(0.9) > model.compute_slowdown(0.1)
+
+    def test_intensity_validation(self, model):
+        with pytest.raises(ValueError):
+            model.compute_slowdown(1.5)
+
+    def test_saturated_exits_infinite_slowdown(self, model):
+        assert model.compute_slowdown(0.5, exits_per_second=200_000) == float("inf")
+
+    def test_stream_bandwidth_factor(self, model):
+        assert model.memory_bandwidth_factor(under_load=True) == pytest.approx(0.98)
+        assert model.memory_bandwidth_factor(under_load=False) == 1.0
+
+
+class TestNested:
+    def test_cpu_bound_near_80_percent(self, model):
+        assert model.nested_efficiency(io_intensive=False) == pytest.approx(0.80, abs=0.04)
+
+    def test_io_bound_near_25_percent(self, model):
+        assert model.nested_efficiency(io_intensive=True) == pytest.approx(0.25, abs=0.05)
+
+    def test_io_overhead_per_operation(self, model):
+        assert model.io_overhead_per_operation(3.0) == pytest.approx(30e-6)
+        with pytest.raises(ValueError):
+            model.io_overhead_per_operation(-1)
+
+
+class TestHostScheduler:
+    def test_pinned_steals_less_time(self):
+        sim = Simulator(seed=5)
+        shared = HostScheduler(sim, pinned=False, stream="s")
+        pinned = HostScheduler(sim, pinned=True, stream="p")
+        shared_total = sum(shared.preemption_during(0.01) for _ in range(200))
+        pinned_total = sum(pinned.preemption_during(0.01) for _ in range(200))
+        assert pinned_total < shared_total
+
+    def test_expected_fraction_matches_fig1_scale(self):
+        sim = Simulator(seed=5)
+        shared = HostScheduler(sim, pinned=False)
+        # Mean preemption a few percent; Fig 1 tails reach 2-10%.
+        assert 0.01 < shared.expected_preemption_fraction() < 0.05
+        pinned = HostScheduler(sim, pinned=True)
+        assert pinned.expected_preemption_fraction() < 0.002
+
+    def test_long_run_average_converges(self):
+        sim = Simulator(seed=6)
+        scheduler = HostScheduler(sim, pinned=False, stream="conv")
+        busy = 300.0
+        stolen = scheduler.preemption_during(busy)
+        assert stolen / busy == pytest.approx(
+            scheduler.expected_preemption_fraction(), rel=0.35
+        )
+
+    def test_negative_interval_rejected(self):
+        sim = Simulator(seed=5)
+        with pytest.raises(ValueError):
+            HostScheduler(sim).preemption_during(-1.0)
+
+    def test_maybe_delay_process(self):
+        sim = Simulator(seed=7)
+        scheduler = HostScheduler(sim, pinned=False, stream="d")
+        extra = sim.run_process(scheduler.maybe_delay(0.01))
+        assert sim.now >= 0.01
+        assert extra >= 0.0

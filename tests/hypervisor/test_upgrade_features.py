@@ -1,0 +1,114 @@
+"""Tests for live hypervisor upgrade (Orthus) and the KVM mitigations."""
+
+import pytest
+
+from repro.core import BmHiveServer
+from repro.guest import VmImage
+from repro.hypervisor import (
+    KvmFeatureSet,
+    KvmModel,
+    KvmSpec,
+    apply_features,
+    effective_cpu_tax,
+    live_upgrade,
+    tuned_model,
+)
+from repro.sim import Simulator
+
+
+class TestLiveUpgrade:
+    @pytest.fixture
+    def running_guest(self):
+        sim = Simulator(seed=33)
+        hive = BmHiveServer(sim)
+        guest = hive.launch_guest()
+        sim.run_process(hive.boot_guest(guest, VmImage("tenant")))
+        return sim, hive, guest
+
+    def test_upgrade_swaps_process_without_reboot(self, running_guest):
+        sim, hive, guest = running_guest
+        old = guest.hypervisor
+        new_hv, record = sim.run_process(live_upgrade(sim, old, "2.0"))
+        assert new_hv is not old
+        assert new_hv.version == "2.0"
+        assert record.guest_stayed_running
+        assert guest.board.is_on  # no power cycle
+
+    def test_ring_cursors_survive(self, running_guest):
+        sim, hive, guest = running_guest
+        before = {
+            key: (s.registers.head, s.registers.tail)
+            for key, s in guest.bond.port("blk").shadows.items()
+        }
+        new_hv, record = sim.run_process(live_upgrade(sim, guest.hypervisor))
+        assert record.cursors_preserved
+        after = {
+            key: (s.registers.head, s.registers.tail)
+            for key, s in guest.bond.port("blk").shadows.items()
+        }
+        assert before == after
+
+    def test_gap_is_sub_second(self, running_guest):
+        sim, hive, guest = running_guest
+        _, record = sim.run_process(live_upgrade(sim, guest.hypervisor))
+        assert record.service_gap_s < 0.2
+
+    def test_new_hypervisor_keeps_serving(self, running_guest):
+        """After the swap the poll loop still services the rings."""
+        sim, hive, guest = running_guest
+        new_hv, _ = sim.run_process(live_upgrade(sim, guest.hypervisor))
+        guest.hypervisor = new_hv
+        handled_before = new_hv.entries_handled
+        from repro.virtio.blk import SECTOR_BYTES
+
+        def io(sim):
+            head = guest.blk_device.driver_read(0, SECTOR_BYTES)
+            yield from guest.bond.guest_pci_access(
+                guest.bond.port("blk"), "queue_notify", 0
+            )
+            yield sim.timeout(1e-3)
+
+        sim.run_process(io(sim))
+        assert new_hv.entries_handled > handled_before
+
+    def test_cannot_upgrade_stopped_guest(self):
+        sim = Simulator(seed=34)
+        hive = BmHiveServer(sim)
+        guest = hive.launch_guest()
+        guest.hypervisor.power_off(guest.board)
+        with pytest.raises(RuntimeError, match="stopped"):
+            sim.run_process(live_upgrade(sim, guest.hypervisor))
+
+
+class TestKvmFeatures:
+    def test_eli_slashes_injection_cost(self):
+        spec = apply_features(KvmSpec(), KvmFeatureSet(exitless_interrupts=True))
+        assert spec.irq_injection_cost_s == pytest.approx(1e-6)
+
+    def test_halt_polling_trims_injection(self):
+        stock = KvmSpec()
+        polled = apply_features(stock, KvmFeatureSet(halt_polling=True))
+        assert polled.irq_injection_cost_s < stock.irq_injection_cost_s
+
+    def test_co_scheduling_removes_lock_holder_tax(self):
+        assert effective_cpu_tax(KvmFeatureSet()) > 0
+        assert effective_cpu_tax(KvmFeatureSet(co_scheduling=True)) == 0
+        assert effective_cpu_tax(KvmFeatureSet(), smp_guest=False) == 0
+
+    def test_tuned_model_still_pays_exits(self):
+        """The paper's point: mitigations shrink, never erase, the gap."""
+        tuned = tuned_model()
+        assert tuned.spec.irq_injection_cost_s < KvmSpec().irq_injection_cost_s
+        # Exit handling itself is untouched: 50K exits still cost half
+        # the CPU even on a fully tuned hypervisor.
+        assert tuned.cpu_efficiency(50_000) == pytest.approx(0.5)
+        assert tuned.memory_bandwidth_factor() < 1.0
+
+    def test_stock_and_tuned_presets(self):
+        assert not any(
+            (KvmFeatureSet.stock().halt_polling,
+             KvmFeatureSet.stock().exitless_interrupts,
+             KvmFeatureSet.stock().co_scheduling)
+        )
+        tuned = KvmFeatureSet.tuned()
+        assert tuned.halt_polling and tuned.exitless_interrupts and tuned.co_scheduling

@@ -1,0 +1,124 @@
+"""Integration tests across the whole stack.
+
+These drive the *real* rings + IO-Bond + bm-hypervisor poll loop
+together (no shortcut cost models): the virtio boot of Section 3.2 and
+the Fig 6 Tx/Rx workflow.
+"""
+
+import pytest
+
+from repro.core import BmHiveServer, VirtServer
+from repro.guest import VmImage
+from repro.sim import Simulator
+from repro.virtio import (
+    RX_QUEUE,
+    TX_QUEUE,
+    VirtioNetHeader,
+    ethernet_frame,
+    full_init,
+)
+
+
+class TestVirtioBoot:
+    def test_guest_boots_from_cloud_storage(self):
+        """The full Section 3.2 scenario: power on, EFI, virtio-blk
+        reads through IO-Bond + bm-hypervisor + SPDK, kernel entry."""
+        sim = Simulator(seed=42)
+        hive = BmHiveServer(sim)
+        guest = hive.launch_guest()
+        image = VmImage("centos7-cloud")
+        record = sim.run_process(hive.boot_guest(guest, image))
+        assert record.stages == [
+            "power_on", "efi_init", "virtio_blk_probe",
+            "bootloader_loaded", "kernel_loaded", "kernel_entry",
+        ]
+        assert record.kernel_bytes == 8 << 20
+        assert 0.06 < record.boot_time_s < 5.0
+        assert guest.hypervisor.state.value == "running"
+
+    def test_boot_data_travels_through_shadow_vrings(self):
+        sim = Simulator(seed=43)
+        hive = BmHiveServer(sim)
+        guest = hive.launch_guest()
+        sim.run_process(hive.boot_guest(guest, VmImage("integrity")))
+        blk_port = guest.bond.port("blk")
+        shadow = blk_port.shadows[0]
+        assert shadow.synced_to_shadow > 250  # 8 bootloader + 256 kernel reads
+        assert shadow.synced_to_guest == shadow.synced_to_shadow
+        assert guest.bond.msi.delivered == shadow.synced_to_guest
+
+    def test_boot_is_deterministic_given_seed(self):
+        def boot_once():
+            sim = Simulator(seed=7)
+            hive = BmHiveServer(sim)
+            guest = hive.launch_guest()
+            return sim.run_process(hive.boot_guest(guest, VmImage("det"))).boot_time_s
+
+        assert boot_once() == boot_once()
+
+
+class TestFig6Workflow:
+    def test_tx_rx_through_real_hardware_models(self):
+        """One Tx and one Rx, end to end, with timing and MSI."""
+        sim = Simulator(seed=5)
+        hive = BmHiveServer(sim)
+        guest = hive.launch_guest()
+        net = guest.net_device
+        full_init(net)
+        bond = guest.bond
+        port = bond.port("net")
+        events = []
+
+        def scenario(sim):
+            # Tx: guest posts a frame and kicks (Fig 6 steps 1-6).
+            net.driver_send(ethernet_frame(200))
+            yield from bond.guest_pci_access(port, "queue_notify", TX_QUEUE)
+            yield sim.timeout(50e-6)
+            shadow_tx = port.shadows[TX_QUEUE]
+            entry = shadow_tx.backend_poll()
+            assert entry is not None
+            events.append("tx-at-backend")
+            shadow_tx.backend_complete(entry.guest_head)
+            yield from bond.deliver_completions(port, TX_QUEUE)
+            # Rx: guest posts a buffer; backend fills it; MSI returns.
+            net.driver_post_rx_buffer()
+            yield from bond.guest_pci_access(port, "queue_notify", RX_QUEUE)
+            yield sim.timeout(50e-6)
+            shadow_rx = port.shadows[RX_QUEUE]
+            rx_entry = shadow_rx.backend_poll()
+            assert rx_entry is not None
+            payload = VirtioNetHeader().pack() + ethernet_frame(500)
+            shadow_rx.backend_complete(rx_entry.guest_head, payload)
+            yield from bond.deliver_completions(port, RX_QUEUE)
+            events.append("rx-at-guest")
+            return net.rx.get_used()
+
+        used = sim.run_process(scenario(sim))
+        assert events == ["tx-at-backend", "rx-at-guest"]
+        assert used is not None
+        assert bond.msi.delivered >= 1
+
+
+class TestMultiTenant:
+    def test_sixteen_guests_with_isolated_hardware(self):
+        sim = Simulator(seed=11)
+        hive = BmHiveServer(sim)
+        guests = [
+            hive.launch_guest(cpu_model="Xeon E3-1240 v6", memory_gib=32)
+            for _ in range(16)
+        ]
+        # Distinct boards, bonds, and limiters per tenant.
+        assert len({id(g.board) for g in guests}) == 16
+        assert len({id(g.bond) for g in guests}) == 16
+        assert len({id(g.limiters) for g in guests}) == 16
+        assert hive.chassis.power_draw_watts < hive.chassis.spec.power_budget_watts
+
+    def test_mixed_fleet_shares_one_fabric(self):
+        sim = Simulator(seed=12)
+        hive = BmHiveServer(sim)
+        kvm = VirtServer(sim, fabric=hive.fabric)
+        bm = hive.launch_guest()
+        vm = kvm.launch_guest()
+        # Both paths exist and produce sane latencies on shared infra.
+        assert bm.net_path.one_way_latency_sample(64) > 0
+        assert vm.net_path.one_way_latency_sample(64) > 0

@@ -1,0 +1,122 @@
+"""Unit and timing tests for the IO-Bond device."""
+
+import pytest
+
+from repro.iobond import ASIC_HOP_LATENCY, FPGA_HOP_LATENCY, IoBond, IoBondSpec
+from repro.sim import Simulator
+from repro.virtio import (
+    RX_QUEUE,
+    TX_QUEUE,
+    VirtioNetDevice,
+    VirtioNetHeader,
+    ethernet_frame,
+    full_init,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=3)
+
+
+@pytest.fixture
+def bond(sim):
+    bond = IoBond(sim)
+    device = full_init(VirtioNetDevice())
+    bond.add_port("net", device)
+    return bond
+
+
+class TestSpec:
+    def test_paper_latency_constants(self):
+        assert IoBondSpec.fpga().pci_access_latency_s == pytest.approx(1.6e-6)
+        assert IoBondSpec.asic().pci_access_latency_s == pytest.approx(0.4e-6)
+        assert ASIC_HOP_LATENCY / FPGA_HOP_LATENCY == pytest.approx(0.25)
+
+    def test_per_guest_bandwidth_is_50gbps(self, sim):
+        assert IoBond(sim).max_guest_bandwidth_gbps == pytest.approx(50.0)
+
+
+class TestPorts:
+    def test_duplicate_port_rejected(self, bond):
+        with pytest.raises(ValueError):
+            bond.add_port("net", VirtioNetDevice())
+
+    def test_unknown_port_lists_known(self, bond):
+        with pytest.raises(KeyError, match="ports: net"):
+            bond.port("blk")
+
+    def test_shadow_requires_initialized_device(self, sim):
+        bond = IoBond(sim)
+        port = bond.add_port("raw", VirtioNetDevice())  # not initialized
+        with pytest.raises(RuntimeError, match="not initialized"):
+            port.shadow(0)
+
+
+class TestPciAccessPath:
+    def test_access_takes_1_6_us(self, sim, bond):
+        port = bond.port("net")
+        start = sim.now
+        sim.run_process(bond.guest_pci_access(port, "device_status"))
+        assert sim.now - start == pytest.approx(1.6e-6)
+
+    def test_access_lands_in_mailbox(self, sim, bond):
+        port = bond.port("net")
+        sim.run_process(bond.guest_pci_access(port, "device_status"))
+        assert bond.mailbox.poll_request() == ("net", "device_status", None)
+        assert bond.mailbox.poll_response() is not None
+        assert bond.pci_accesses == 1
+
+
+class TestTxPath:
+    def test_notify_triggers_shadow_sync(self, sim, bond):
+        port = bond.port("net")
+        device = port.device
+        device.driver_send(ethernet_frame(64))
+        sim.run_process(bond.guest_pci_access(port, "queue_notify", TX_QUEUE))
+        sim.run(until=sim.now + 1e-4)
+        shadow = port.shadow(TX_QUEUE)
+        entry = shadow.backend_poll()
+        assert entry is not None
+        assert len(entry.payload) == VirtioNetHeader.SIZE + len(ethernet_frame(64))
+
+    def test_sync_charges_dma_and_link_time(self, sim, bond):
+        port = bond.port("net")
+        device = port.device
+        for _ in range(8):
+            device.driver_send(ethernet_frame(1400))
+        start = sim.now
+        staged = sim.run_process(bond.sync_to_shadow(port, TX_QUEUE))
+        assert staged == 8
+        elapsed = sim.now - start
+        # Must cost at least the DMA time for ~8 * 1.4KB of payload.
+        assert elapsed >= bond.dma.copy_time(8 * 1400)
+
+
+class TestRxPath:
+    def test_completion_delivery_raises_msi(self, sim, bond):
+        port = bond.port("net")
+        device = port.device
+        device.driver_post_rx_buffer()
+        sim.run_process(bond.sync_to_shadow(port, RX_QUEUE))
+        shadow = port.shadow(RX_QUEUE)
+        entry = shadow.backend_poll()
+        payload = VirtioNetHeader().pack() + ethernet_frame(128)
+        shadow.backend_complete(entry.guest_head, payload)
+        interrupts = []
+        port.on_interrupt = lambda: interrupts.append(sim.now)
+        delivered = sim.run_process(bond.deliver_completions(port, RX_QUEUE))
+        assert delivered == 1
+        assert bond.msi.delivered == 1
+        assert interrupts
+        head, written = device.rx.get_used()
+        assert written == len(payload)
+
+    def test_no_completions_is_cheap_noop(self, sim, bond):
+        port = bond.port("net")
+        port.device.driver_post_rx_buffer()
+        sim.run_process(bond.sync_to_shadow(port, RX_QUEUE))
+        start = sim.now
+        delivered = sim.run_process(bond.deliver_completions(port, RX_QUEUE))
+        assert delivered == 0
+        assert sim.now == start

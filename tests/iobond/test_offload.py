@@ -1,0 +1,58 @@
+"""Tests for the IO-Bond packet-processing offload model (Section 6)."""
+
+import pytest
+
+from repro.iobond import OFFLOADABLE_STAGES, OffloadPlan, base_cores_required
+
+
+class TestPlans:
+    def test_none_keeps_everything_in_software(self):
+        plan = OffloadPlan.none()
+        assert plan.fpga_cost_per_packet_s == 0.0
+        assert plan.fpga_gates_kles == 0.0
+        assert plan.software_cost_per_packet_s == pytest.approx(
+            sum(s.software_cost_s for s in OFFLOADABLE_STAGES)
+        )
+
+    def test_full_moves_everything_to_fpga(self):
+        plan = OffloadPlan.full()
+        assert plan.software_cost_per_packet_s == 0.0
+        assert plan.fpga_cost_per_packet_s > 0.0
+        assert plan.fpga_gates_kles == pytest.approx(
+            sum(s.fpga_gates_kles for s in OFFLOADABLE_STAGES)
+        )
+
+    def test_partial_plan_splits_costs(self):
+        plan = OffloadPlan(offloaded=["flow classification"])
+        full_sw = OffloadPlan.none().software_cost_per_packet_s
+        assert 0 < plan.software_cost_per_packet_s < full_sw
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ValueError, match="unknown stages"):
+            OffloadPlan(offloaded=["quantum firewall"])
+
+    def test_fpga_is_faster_per_stage(self):
+        for stage in OFFLOADABLE_STAGES:
+            assert stage.fpga_cost_s < stage.software_cost_s
+
+
+class TestCoreSizing:
+    def test_offload_shrinks_the_base_cpu(self):
+        """The Section 6 goal: a cheaper base part after offload."""
+        before = base_cores_required(OffloadPlan.none())
+        after = base_cores_required(OffloadPlan.full())
+        assert after < before
+        assert after == 1  # nothing left but the floor
+
+    def test_current_deployment_fits_the_16_core_base(self):
+        """The deployed base is a 16-core E5 (Section 3.3); the
+        no-offload pipeline must fit it at full chassis load."""
+        assert base_cores_required(OffloadPlan.none()) <= 16
+
+    def test_scales_with_guests(self):
+        plan = OffloadPlan.none()
+        assert base_cores_required(plan, guests=16) > base_cores_required(plan, guests=4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            base_cores_required(OffloadPlan.none(), guests=0)

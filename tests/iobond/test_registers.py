@@ -1,0 +1,47 @@
+"""Unit tests for IO-Bond's mailbox and head/tail registers."""
+
+import pytest
+
+from repro.iobond import HeadTailRegisters, MailboxPair
+
+
+class TestMailbox:
+    def test_request_response_flow(self):
+        mailbox = MailboxPair()
+        mailbox.post_request(("net", "queue_notify", 1))
+        assert mailbox.has_pending
+        assert mailbox.poll_request() == ("net", "queue_notify", 1)
+        assert not mailbox.has_pending
+        mailbox.post_response(("net", "queue_notify", None))
+        assert mailbox.poll_response() == ("net", "queue_notify", None)
+
+    def test_empty_polls_return_none(self):
+        mailbox = MailboxPair()
+        assert mailbox.poll_request() is None
+        assert mailbox.poll_response() is None
+
+    def test_fifo_ordering(self):
+        mailbox = MailboxPair()
+        for i in range(5):
+            mailbox.post_request(i)
+        assert [mailbox.poll_request() for _ in range(5)] == list(range(5))
+
+
+class TestHeadTail:
+    def test_publish_consume(self):
+        regs = HeadTailRegisters()
+        regs.publish(3)
+        assert regs.pending == 3
+        regs.consume(2)
+        assert regs.pending == 1
+        assert regs.head == 3 and regs.tail == 2
+
+    def test_tail_cannot_pass_head(self):
+        regs = HeadTailRegisters()
+        regs.publish(1)
+        with pytest.raises(RuntimeError, match="tail would pass head"):
+            regs.consume(2)
+
+    def test_negative_publish_rejected(self):
+        with pytest.raises(ValueError):
+            HeadTailRegisters().publish(-1)

@@ -1,0 +1,79 @@
+"""Tests for the security/isolation experiments."""
+
+import pytest
+
+from repro.hw import CacheSpec
+from repro.security import (
+    BM_HIVE_SURFACE,
+    KVM_SURFACE,
+    cache_thrash_attack,
+    prime_probe_attack,
+)
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=31)
+
+
+SECRET = [int(b) for b in "1011001110001011010011100101" * 2]
+
+
+class TestPrimeProbe:
+    def test_shared_cache_leaks_secret(self, sim):
+        result = prime_probe_attack(sim, SECRET, co_resident=True)
+        assert result.accuracy > 0.95
+        assert result.channel_works
+
+    def test_separate_boards_defeat_channel(self, sim):
+        result = prime_probe_attack(sim, SECRET, co_resident=False)
+        assert result.accuracy < 0.7
+        assert not result.channel_works
+
+    def test_secret_validation(self, sim):
+        with pytest.raises(ValueError):
+            prime_probe_attack(sim, [0, 1, 2])
+
+    def test_result_bookkeeping(self, sim):
+        result = prime_probe_attack(sim, SECRET, co_resident=True)
+        assert result.secret_bits == len(SECRET)
+        assert result.recovered_bits <= result.secret_bits
+
+
+class TestCacheDos:
+    def test_co_resident_attack_destroys_hit_rate(self, sim):
+        result = cache_thrash_attack(sim, co_resident=True)
+        assert result.baseline_hit_rate > 0.9
+        assert result.under_attack_hit_rate < 0.2
+        assert result.slowdown_factor > 2.0
+
+    def test_board_isolation_neutralizes_attack(self, sim):
+        result = cache_thrash_attack(sim, co_resident=False)
+        assert result.under_attack_hit_rate == pytest.approx(
+            result.baseline_hit_rate, abs=0.02
+        )
+        assert result.slowdown_factor == pytest.approx(1.0, abs=0.02)
+
+    def test_small_working_set_survives_if_it_fits_between_passes(self, sim):
+        spec = CacheSpec(size_bytes=1 << 20, ways=16)
+        result = cache_thrash_attack(sim, co_resident=True, spec=spec,
+                                     working_set_lines=64)
+        # Still hurt: the thrash evicts everything between passes.
+        assert result.under_attack_hit_rate < result.baseline_hit_rate
+
+
+class TestAttackSurface:
+    def test_kvm_guest_reachable_surface_is_huge(self):
+        assert KVM_SURFACE.reachable_kloc > 400
+
+    def test_bm_guest_reachable_surface_is_small(self):
+        assert BM_HIVE_SURFACE.reachable_kloc < 100
+
+    def test_bm_control_plane_not_guest_reachable(self):
+        names = {c.name for c in BM_HIVE_SURFACE.reachable_components}
+        assert names == {"virtio backends (via IO-Bond)"}
+
+    def test_kvm_instruction_emulation_exposed(self):
+        names = {c.name for c in KVM_SURFACE.reachable_components}
+        assert "instruction emulation" in names

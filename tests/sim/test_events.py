@@ -1,0 +1,110 @@
+"""Unit tests for the event primitives."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=0)
+
+
+class TestEvent:
+    def test_starts_pending(self, sim):
+        event = sim.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_succeed_carries_value(self, sim):
+        event = sim.event()
+        event.succeed(42)
+        assert event.triggered
+        assert event.value == 42
+        assert event.ok
+
+    def test_value_before_trigger_raises(self, sim):
+        event = sim.event()
+        with pytest.raises(RuntimeError):
+            _ = event.value
+
+    def test_double_succeed_raises(self, sim):
+        event = sim.event()
+        event.succeed()
+        with pytest.raises(RuntimeError):
+            event.succeed()
+
+    def test_fail_requires_exception(self, sim):
+        event = sim.event()
+        with pytest.raises(TypeError):
+            event.fail("not an exception")
+
+    def test_fail_sets_not_ok(self, sim):
+        event = sim.event()
+        event.fail(ValueError("boom"))
+        assert event.triggered
+        assert not event.ok
+
+    def test_callback_after_processed_runs_inline(self, sim):
+        event = sim.event()
+        event.succeed("x")
+        sim.run()
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        assert seen == ["x"]
+
+
+class TestTimeout:
+    def test_fires_at_delay(self, sim):
+        fired = []
+        timeout = sim.timeout(2.5, value="done")
+        timeout.add_callback(lambda e: fired.append(sim.now))
+        sim.run()
+        assert fired == [2.5]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.timeout(-1.0)
+
+    def test_carries_value(self, sim):
+        timeout = sim.timeout(1.0, value=99)
+        sim.run()
+        assert timeout.value == 99
+
+    def test_zero_delay_fires_immediately(self, sim):
+        timeout = sim.timeout(0.0)
+        sim.run()
+        assert timeout.processed
+        assert sim.now == 0.0
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self, sim):
+        a, b = sim.timeout(1.0, "a"), sim.timeout(3.0, "b")
+        combined = sim.all_of([a, b])
+        sim.run()
+        assert combined.value == ["a", "b"]
+        assert sim.now == 3.0
+
+    def test_all_of_empty_fires_immediately(self, sim):
+        combined = sim.all_of([])
+        assert combined.triggered
+
+    def test_any_of_fires_on_first(self, sim):
+        a, b = sim.timeout(1.0, "fast"), sim.timeout(5.0, "slow")
+        first = sim.any_of([a, b])
+        fired_at = []
+        first.add_callback(lambda e: fired_at.append(sim.now))
+        sim.run()
+        assert first.value == "fast"
+        assert fired_at == [1.0]
+
+    def test_all_of_propagates_failure(self, sim):
+        good = sim.timeout(1.0)
+        bad = sim.event()
+        combined = sim.all_of([good, bad])
+        bad.fail(RuntimeError("child failed"))
+        sim.run()
+        assert combined.triggered
+        assert not combined.ok

@@ -1,0 +1,147 @@
+"""Unit tests for generator-backed processes."""
+
+import pytest
+
+from repro.sim import Interrupt, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=0)
+
+
+class TestProcessBasics:
+    def test_process_runs_and_returns(self, sim):
+        def worker(sim):
+            yield sim.timeout(1.0)
+            return "result"
+
+        proc = sim.spawn(worker(sim))
+        sim.run()
+        assert proc.value == "result"
+
+    def test_spawn_rejects_non_generator(self, sim):
+        def not_a_generator():
+            return 42
+
+        with pytest.raises(TypeError, match="generator"):
+            sim.spawn(not_a_generator())
+
+    def test_yielding_non_event_fails_process(self, sim):
+        def bad(sim):
+            yield 42
+
+        proc = sim.spawn(bad(sim))
+        sim.run()
+        assert proc.triggered
+        assert not proc.ok
+        assert isinstance(proc.value, TypeError)
+
+    def test_process_exception_propagates_to_joiner(self, sim):
+        def failing(sim):
+            yield sim.timeout(1.0)
+            raise ValueError("inner failure")
+
+        def joiner(sim):
+            try:
+                yield sim.spawn(failing(sim))
+            except ValueError as exc:
+                return f"caught: {exc}"
+
+        result = sim.run_process(joiner(sim))
+        assert result == "caught: inner failure"
+
+    def test_processes_can_join_each_other(self, sim):
+        def slow(sim):
+            yield sim.timeout(5.0)
+            return "slow done"
+
+        def waiter(sim):
+            value = yield sim.spawn(slow(sim))
+            return value
+
+        assert sim.run_process(waiter(sim)) == "slow done"
+        assert sim.now == 5.0
+
+    def test_sequential_timeouts_accumulate(self, sim):
+        def stepper(sim):
+            for _ in range(4):
+                yield sim.timeout(0.5)
+            return sim.now
+
+        assert sim.run_process(stepper(sim)) == pytest.approx(2.0)
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, sim):
+        log = []
+
+        def sleeper(sim):
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as interrupt:
+                log.append(interrupt.cause)
+
+        proc = sim.spawn(sleeper(sim))
+
+        def interrupter(sim):
+            yield sim.timeout(1.0)
+            proc.interrupt("wake up")
+
+        sim.spawn(interrupter(sim))
+        sim.run()
+        assert log == ["wake up"]
+
+    def test_interrupted_process_can_continue(self, sim):
+        def sleeper(sim):
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt:
+                pass
+            yield sim.timeout(2.0)
+            return sim.now
+
+        proc = sim.spawn(sleeper(sim))
+
+        def interrupter(sim):
+            yield sim.timeout(1.0)
+            proc.interrupt()
+
+        sim.spawn(interrupter(sim))
+        sim.run()
+        assert proc.value == pytest.approx(3.0)
+
+    def test_stale_wakeup_after_interrupt_is_ignored(self, sim):
+        """The original target firing later must not double-resume."""
+        resumes = []
+
+        def sleeper(sim):
+            try:
+                yield sim.timeout(10.0)
+                resumes.append("slept")
+            except Interrupt:
+                resumes.append("interrupted")
+                yield sim.timeout(20.0)
+                resumes.append("second sleep done")
+
+        proc = sim.spawn(sleeper(sim))
+
+        def interrupter(sim):
+            yield sim.timeout(1.0)
+            proc.interrupt()
+
+        sim.spawn(interrupter(sim))
+        sim.run()
+        # The 10s timeout fires at t=10 while the process waits on the
+        # 20s one; it must be ignored.
+        assert resumes == ["interrupted", "second sleep done"]
+        assert sim.now == pytest.approx(21.0)
+
+    def test_interrupting_finished_process_raises(self, sim):
+        def quick(sim):
+            yield sim.timeout(0.1)
+
+        proc = sim.spawn(quick(sim))
+        sim.run()
+        with pytest.raises(RuntimeError):
+            proc.interrupt()

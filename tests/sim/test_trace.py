@@ -1,0 +1,89 @@
+"""Unit tests for the execution tracer."""
+
+import pytest
+
+from repro.sim import Simulator, Tracer
+
+
+@pytest.fixture
+def traced():
+    sim = Simulator(seed=0)
+    return sim, Tracer(sim)
+
+
+class TestSpans:
+    def test_span_records_interval(self, traced):
+        sim, tracer = traced
+
+        def work(sim):
+            tracer.begin("dma", "copy")
+            yield sim.timeout(5e-6)
+            tracer.end("dma", "copy")
+
+        sim.run_process(work(sim))
+        assert len(tracer.spans) == 1
+        assert tracer.spans[0].duration_s == pytest.approx(5e-6)
+
+    def test_context_manager_form(self, traced):
+        sim, tracer = traced
+
+        def work(sim):
+            with tracer.span("kernel", "udp_tx"):
+                yield sim.timeout(2.4e-6)
+
+        sim.run_process(work(sim))
+        assert tracer.total("kernel") == pytest.approx(2.4e-6)
+
+    def test_double_begin_rejected(self, traced):
+        _, tracer = traced
+        tracer.begin("a", "x")
+        with pytest.raises(RuntimeError, match="already open"):
+            tracer.begin("a", "x")
+
+    def test_end_without_begin_rejected(self, traced):
+        _, tracer = traced
+        with pytest.raises(RuntimeError, match="never begun"):
+            tracer.end("a", "x")
+
+    def test_totals_filter_by_name(self, traced):
+        sim, tracer = traced
+
+        def work(sim):
+            for name, delay in (("copy", 1e-6), ("copy", 2e-6), ("sync", 4e-6)):
+                tracer.begin("dma", name)
+                yield sim.timeout(delay)
+                tracer.end("dma", name)
+
+        sim.run_process(work(sim))
+        assert tracer.total("dma", "copy") == pytest.approx(3e-6)
+        assert tracer.total("dma") == pytest.approx(7e-6)
+
+
+class TestBreakdownAndRender:
+    def test_breakdown_sums_per_track(self, traced):
+        sim, tracer = traced
+
+        def work(sim):
+            with tracer.span("guest", "kernel"):
+                yield sim.timeout(3e-6)
+            with tracer.span("iobond", "dma"):
+                yield sim.timeout(1e-6)
+
+        sim.run_process(work(sim))
+        breakdown = tracer.breakdown()
+        assert breakdown["guest"] == pytest.approx(3e-6)
+        assert breakdown["iobond"] == pytest.approx(1e-6)
+
+    def test_render_is_chronological(self, traced):
+        sim, tracer = traced
+
+        def work(sim):
+            tracer.mark("guest", "kick")
+            with tracer.span("iobond", "sync"):
+                yield sim.timeout(1e-6)
+            tracer.mark("guest", "msi")
+
+        sim.run_process(work(sim))
+        text = tracer.render()
+        assert text.index("kick") < text.index("sync") < text.index("msi")
+        assert "us" in text

@@ -1,0 +1,49 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestList:
+    def test_lists_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in ("table2", "fig9", "fig16", "future_work"):
+            assert exp_id in out
+
+
+class TestRun:
+    def test_runs_a_cheap_experiment(self, capsys):
+        assert main(["run", "cost"]) == 0
+        out = capsys.readouterr().out
+        assert "checks: PASS" in out
+        assert "all passed" in out
+
+    def test_multiple_experiments(self, capsys):
+        assert main(["run", "cost", "nested"]) == 0
+        out = capsys.readouterr().out
+        assert "2 experiment(s)" in out
+
+    def test_unknown_experiment_is_an_error(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiments" in err
+        assert "fig99" in err
+
+    def test_seed_flag_accepted(self, capsys):
+        assert main(["run", "nested", "--seed", "7"]) == 0
+
+
+class TestCatalog:
+    def test_prints_table3(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "ebm.e5.32ht" in out
+        assert "boards/server" in out
+
+
+class TestParser:
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,47 @@
+"""Smoke tests: every example script runs clean end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    path.name
+    for path in (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+# reproduce_paper runs the full suite: covered by its own test below.
+FAST_EXAMPLES = [name for name in EXAMPLES if name != "reproduce_paper.py"]
+
+
+def _run(name, *args, timeout=600):
+    script = pathlib.Path(__file__).parent.parent / "examples" / name
+    return subprocess.run(
+        [sys.executable, str(script), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+
+
+def test_examples_are_discovered():
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 7
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs_clean(name):
+    result = _run(name)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), f"{name} printed nothing"
+
+
+def test_reproduce_paper_subset():
+    result = _run("reproduce_paper.py", "cost", "nested")
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "2/2 experiments passed" in result.stdout
+
+
+def test_quickstart_tells_the_headline_story():
+    out = _run("quickstart.py").stdout
+    assert "booted" in out
+    assert "Fig 10" in out and "Fig 11" in out and "Fig 12" in out

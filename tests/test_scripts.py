@@ -1,0 +1,29 @@
+"""Smoke tests for the repository scripts and the CLI module entry."""
+
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).parent.parent
+
+
+def test_export_figures_writes_csvs(tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(ROOT / "scripts" / "export_figures.py"),
+         str(tmp_path / "results")],
+        capture_output=True, text=True, timeout=900,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    csvs = list((tmp_path / "results").glob("*.csv"))
+    assert len(csvs) >= 20
+    fig13 = (tmp_path / "results" / "fig13.csv").read_text()
+    assert "read_only_qps" in fig13.splitlines()[0]
+
+
+def test_module_cli_entry():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "list"],
+        capture_output=True, text=True, timeout=120, cwd=str(ROOT),
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "fig9" in result.stdout

@@ -1,0 +1,54 @@
+"""Unit tests for the virtio console device (Section 3.4.2)."""
+
+import pytest
+
+from repro.virtio import VIRTIO_ID_CONSOLE, VirtioConsoleDevice, full_init
+
+
+@pytest.fixture
+def console():
+    return full_init(VirtioConsoleDevice())
+
+
+class TestConsole:
+    def test_device_identity(self, console):
+        assert console.device_id == VIRTIO_ID_CONSOLE
+        assert console.n_queues == 2
+        assert console.read_config("cols") == 80
+        assert console.read_config("rows") == 25
+
+    def test_guest_output_reaches_console_service(self, console):
+        console.driver_write("login: ")
+        console.driver_write("tenant\n")
+        assert console.drain_output() == ["login: ", "tenant\n"]
+
+    def test_no_output_returns_none(self, console):
+        assert console.device_read_output() is None
+
+    def test_console_service_types_into_guest(self, console):
+        console.driver_post_input_buffer()
+        assert console.device_send_input("reboot\n")
+        head, written = console.rx.get_used()
+        assert written == len(b"reboot\n")
+
+    def test_input_dropped_without_buffer(self, console):
+        assert not console.device_send_input("lost keystrokes")
+
+    def test_oversized_input_dropped(self, console):
+        console.driver_post_input_buffer(size=4)
+        assert not console.device_send_input("way too long for the buffer")
+
+    def test_attaches_to_iobond_like_any_device(self):
+        """Section 3.3: adding a device to IO-Bond reuses everything."""
+        from repro.iobond import IoBond
+        from repro.sim import Simulator
+
+        sim = Simulator(seed=0)
+        bond = IoBond(sim)
+        console = full_init(VirtioConsoleDevice())
+        port = bond.add_port("console", console)
+        console.driver_write("hello from the board\n")
+        staged = sim.run_process(bond.sync_to_shadow(port, 1))
+        assert staged == 1
+        entry = port.shadow(1).backend_poll()
+        assert entry.payload == b"hello from the board\n"

@@ -1,0 +1,96 @@
+"""Unit tests for the virtio device status machine and features."""
+
+import pytest
+
+from repro.virtio import (
+    DeviceStatus,
+    Feature,
+    VirtioBlkDevice,
+    VirtioDevice,
+    VirtioNetDevice,
+    feature_mask,
+    full_init,
+)
+
+
+class TestStatusMachine:
+    def test_handshake_order_enforced(self):
+        device = VirtioNetDevice()
+        with pytest.raises(RuntimeError, match="DRIVER before ACKNOWLEDGE"):
+            device.set_status(DeviceStatus.DRIVER)
+
+    def test_features_ok_requires_driver(self):
+        device = VirtioNetDevice()
+        device.set_status(DeviceStatus.ACKNOWLEDGE)
+        with pytest.raises(RuntimeError, match="FEATURES_OK before DRIVER"):
+            device.set_status(DeviceStatus.ACKNOWLEDGE | DeviceStatus.FEATURES_OK)
+
+    def test_driver_ok_requires_features_ok(self):
+        device = VirtioNetDevice()
+        device.set_status(DeviceStatus.ACKNOWLEDGE)
+        device.set_status(DeviceStatus.ACKNOWLEDGE | DeviceStatus.DRIVER)
+        with pytest.raises(RuntimeError, match="DRIVER_OK before FEATURES_OK"):
+            device.set_status(
+                DeviceStatus.ACKNOWLEDGE | DeviceStatus.DRIVER | DeviceStatus.DRIVER_OK
+            )
+
+    def test_full_init_reaches_live(self):
+        device = full_init(VirtioNetDevice())
+        assert device.is_live
+        assert len(device.queues) == 2
+        assert all(device.queue_enabled)
+
+    def test_reset_clears_everything(self):
+        device = full_init(VirtioNetDevice())
+        device.set_status(0)
+        assert device.status == 0
+        assert device.queues == []
+        assert device.driver_features == 0
+
+
+class TestFeatureNegotiation:
+    def test_unoffered_features_rejected(self):
+        device = VirtioNetDevice()
+        with pytest.raises(ValueError, match="unoffered"):
+            device.negotiate(device.device_features | (1 << 63))
+
+    def test_legacy_drivers_rejected(self):
+        device = VirtioNetDevice()
+        with pytest.raises(ValueError, match="legacy"):
+            device.negotiate(feature_mask(Feature.NET_MAC))
+
+    def test_negotiated_subset_recorded(self):
+        device = VirtioNetDevice()
+        subset = feature_mask(Feature.VERSION_1, Feature.NET_MAC)
+        device.negotiate(subset)
+        assert device.has_feature(Feature.NET_MAC)
+        assert not device.has_feature(Feature.NET_MRG_RXBUF)
+
+    def test_queues_respect_negotiated_ring_features(self):
+        device = VirtioNetDevice()
+        no_event_idx = feature_mask(Feature.VERSION_1, Feature.RING_INDIRECT_DESC)
+        full_init(device, driver_features=no_event_idx)
+        assert not device.queues[0].event_idx
+        assert device.queues[0].indirect_supported
+
+
+class TestConfigSpace:
+    def test_net_config_fields(self):
+        device = VirtioNetDevice()
+        assert device.read_config("mtu") == 1500
+
+    def test_blk_capacity(self):
+        device = VirtioBlkDevice(capacity_sectors=1000)
+        assert device.read_config("capacity") == 1000
+
+    def test_unknown_field_lists_known(self):
+        device = VirtioNetDevice()
+        with pytest.raises(KeyError, match="device has"):
+            device.read_config("nonsense")
+
+    def test_write_bumps_generation(self):
+        device = VirtioNetDevice()
+        generation = device.config_generation
+        device.write_config("mtu", 9000)
+        assert device.config_generation == generation + 1
+        assert device.read_config("mtu") == 9000

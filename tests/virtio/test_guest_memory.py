@@ -1,0 +1,71 @@
+"""Unit tests for the guest memory model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.virtio import GuestMemory
+
+
+class TestAllocation:
+    def test_alloc_returns_distinct_regions(self):
+        memory = GuestMemory()
+        a = memory.alloc(100)
+        b = memory.alloc(100)
+        assert b >= a + 100
+
+    def test_zero_alloc_rejected(self):
+        with pytest.raises(ValueError):
+            GuestMemory().alloc(0)
+
+    def test_exhaustion(self):
+        memory = GuestMemory(capacity_bytes=1024)
+        memory.alloc(1024)
+        with pytest.raises(MemoryError):
+            memory.alloc(1)
+
+    def test_allocated_bytes_accounting(self):
+        memory = GuestMemory()
+        memory.alloc(10)
+        memory.alloc(20)
+        assert memory.allocated_bytes == 30
+
+
+class TestAccess:
+    def test_write_read_round_trip(self):
+        memory = GuestMemory()
+        addr = memory.alloc(64)
+        memory.write(addr, b"datapath")
+        assert memory.read(addr, 8) == b"datapath"
+
+    def test_offset_access_within_region(self):
+        memory = GuestMemory()
+        addr = memory.alloc(64)
+        memory.write(addr + 10, b"xy")
+        assert memory.read(addr + 10, 2) == b"xy"
+
+    def test_stray_read_rejected(self):
+        memory = GuestMemory()
+        with pytest.raises(ValueError, match="outside"):
+            memory.read(0xDEAD0000, 4)
+
+    def test_write_past_region_end_rejected(self):
+        memory = GuestMemory()
+        addr = memory.alloc(4)
+        with pytest.raises(ValueError, match="outside"):
+            memory.write(addr, b"too long for region")
+
+
+@given(
+    chunks=st.lists(st.binary(min_size=1, max_size=128), min_size=1, max_size=20)
+)
+@settings(max_examples=50, deadline=None)
+def test_property_every_allocation_reads_back_exactly(chunks):
+    memory = GuestMemory()
+    placed = []
+    for chunk in chunks:
+        addr = memory.alloc(len(chunk))
+        memory.write(addr, chunk)
+        placed.append((addr, chunk))
+    for addr, chunk in placed:
+        assert memory.read(addr, len(chunk)) == chunk

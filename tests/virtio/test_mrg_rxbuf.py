@@ -1,0 +1,81 @@
+"""Tests for mergeable Rx buffers (VIRTIO_NET_F_MRG_RXBUF)."""
+
+import pytest
+
+from repro.virtio import (
+    Feature,
+    VirtioNetDevice,
+    VirtioNetHeader,
+    feature_mask,
+    full_init,
+)
+
+
+def _mergeable_device():
+    return full_init(VirtioNetDevice())
+
+
+def _plain_device():
+    features = feature_mask(
+        Feature.VERSION_1, Feature.RING_EVENT_IDX, Feature.RING_INDIRECT_DESC,
+        Feature.NET_MAC,
+    )
+    return full_init(VirtioNetDevice(), driver_features=features)
+
+
+class TestMergeableReceive:
+    def test_large_frame_spans_buffers(self):
+        device = _mergeable_device()
+        for _ in range(4):
+            device.rx.add_buffer([], [512])
+        frame = bytes(range(256)) * 5  # 1280B > one 512B buffer
+        assert device.device_receive_frame(frame)
+        used = []
+        while True:
+            entry = device.rx.get_used()
+            if entry is None:
+                break
+            used.append(entry)
+        assert len(used) == 3  # 12B header + 1280B over 512B buffers
+        assert sum(written for _, written in used) == VirtioNetHeader.SIZE + len(frame)
+
+    def test_num_buffers_header_field_is_set(self):
+        device = _mergeable_device()
+        chains = []
+        for _ in range(3):
+            head = device.rx.add_buffer([], [512])
+            chains.append(device.rx.resolve_chain(head))
+        device.device_receive_frame(bytes(1000))
+        first_addr, _ = chains[0].writable[0]
+        header = VirtioNetHeader.unpack(
+            device.rx.memory.read(first_addr, VirtioNetHeader.SIZE)
+        )
+        assert header.num_buffers == 2
+
+    def test_insufficient_buffers_drop_whole_frame(self):
+        device = _mergeable_device()
+        device.rx.add_buffer([], [512])  # only one: not enough for 2KB
+        assert not device.device_receive_frame(bytes(2048))
+        # The buffer was consumed with zero bytes, not leaked.
+        head, written = device.rx.get_used()
+        assert written == 0
+
+    def test_small_frame_still_single_buffer(self):
+        device = _mergeable_device()
+        device.rx.add_buffer([], [2048])
+        assert device.device_receive_frame(bytes(100))
+        _, written = device.rx.get_used()
+        assert written == VirtioNetHeader.SIZE + 100
+
+
+class TestWithoutMergeable:
+    def test_oversized_frame_dropped_without_the_feature(self):
+        device = _plain_device()
+        assert not device.has_feature(Feature.NET_MRG_RXBUF)
+        device.rx.add_buffer([], [512])
+        device.rx.add_buffer([], [512])
+        assert not device.device_receive_frame(bytes(1024))
+        head, written = device.rx.get_used()
+        assert written == 0
+        # The second buffer stays posted for the next frame.
+        assert device.rx.avail_pending == 1

@@ -1,0 +1,105 @@
+"""Tests for multi-queue virtio-net (MQ + RSS steering)."""
+
+import pytest
+
+from repro.virtio import full_init
+from repro.virtio.multiqueue import (
+    VIRTIO_NET_F_MQ,
+    MultiQueueNetDevice,
+    rss_queue_for_flow,
+)
+
+
+@pytest.fixture
+def device():
+    return full_init(MultiQueueNetDevice(n_queue_pairs=4))
+
+
+class TestLayout:
+    def test_queue_count_is_pairs_plus_ctrl(self, device):
+        assert len(device.queues) == 2 * 4 + 1
+
+    def test_pair_addressing(self, device):
+        for pair in range(4):
+            assert device.rx_queue(pair) is device.queue(2 * pair)
+            assert device.tx_queue(pair) is device.queue(2 * pair + 1)
+        assert device.ctrl_queue is device.queue(8)
+
+    def test_pair_bounds_checked(self, device):
+        with pytest.raises(IndexError):
+            device.rx_queue(4)
+
+    def test_config_advertises_max_pairs(self, device):
+        assert device.read_config("max_virtqueue_pairs") == 4
+
+    def test_mq_feature_negotiated(self, device):
+        assert device.has_feature(VIRTIO_NET_F_MQ)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            MultiQueueNetDevice(n_queue_pairs=0)
+
+    def test_independent_devices_independent_sizes(self):
+        small = full_init(MultiQueueNetDevice(n_queue_pairs=1))
+        large = full_init(MultiQueueNetDevice(n_queue_pairs=8))
+        assert len(small.queues) == 3
+        assert len(large.queues) == 17
+
+
+class TestControlPlane:
+    def test_driver_enables_pairs(self, device):
+        assert device.active_pairs == 1
+        device.set_active_pairs(4)
+        assert device.active_pairs == 4
+
+    def test_enable_bounds(self, device):
+        with pytest.raises(ValueError):
+            device.set_active_pairs(5)
+        with pytest.raises(ValueError):
+            device.set_active_pairs(0)
+
+
+class TestSteering:
+    def test_rss_is_deterministic_and_bounded(self):
+        for flow_hash in range(100):
+            pair = rss_queue_for_flow(flow_hash, 4)
+            assert 0 <= pair < 4
+            assert pair == rss_queue_for_flow(flow_hash, 4)
+
+    def test_flows_spread_across_active_pairs(self, device):
+        device.set_active_pairs(4)
+        for pair in range(4):
+            for _ in range(8):
+                device.rx_queue(pair).add_buffer([], [2048])
+        hit_pairs = set()
+        for flow_hash in range(16):
+            delivered, pair = device.device_receive_steered(bytes(64), flow_hash)
+            assert delivered
+            hit_pairs.add(pair)
+        assert hit_pairs == {0, 1, 2, 3}
+
+    def test_single_active_pair_concentrates_flows(self, device):
+        for _ in range(4):
+            device.rx_queue(0).add_buffer([], [2048])
+        for flow_hash in (0, 1, 2, 3):
+            delivered, pair = device.device_receive_steered(bytes(64), flow_hash)
+            assert delivered and pair == 0
+
+    def test_one_flow_stays_ordered_on_one_queue(self, device):
+        """RSS's point: a flow never spreads across queues, so its
+        packets cannot be reordered."""
+        device.set_active_pairs(4)
+        target = rss_queue_for_flow(77, 4)
+        for _ in range(5):
+            device.rx_queue(target).add_buffer([], [2048])
+        pairs = {device.device_receive_steered(bytes(64), 77)[1] for _ in range(5)}
+        assert pairs == {target}
+
+    def test_backlog_diagnostics(self, device):
+        device.rx_queue(2).add_buffer([], [2048])
+        assert device.per_pair_backlog() == [0, 0, 1, 0]
+
+    def test_tx_per_pair(self, device):
+        device.driver_send_on(3, bytes(100))
+        assert device.tx_queue(3).avail_pending == 1
+        assert device.tx_queue(0).avail_pending == 0

@@ -1,0 +1,134 @@
+"""Unit tests for virtio-net and virtio-blk device models."""
+
+import pytest
+
+from repro.virtio import (
+    SECTOR_BYTES,
+    VIRTIO_BLK_S_OK,
+    VIRTIO_BLK_T_FLUSH,
+    VIRTIO_BLK_T_IN,
+    VIRTIO_BLK_T_OUT,
+    BlkRequestHeader,
+    VirtioBlkDevice,
+    VirtioNetDevice,
+    VirtioNetHeader,
+    ethernet_frame,
+    full_init,
+)
+
+
+@pytest.fixture
+def net():
+    return full_init(VirtioNetDevice())
+
+
+@pytest.fixture
+def blk():
+    return full_init(VirtioBlkDevice())
+
+
+class TestNetHeader:
+    def test_pack_unpack_round_trip(self):
+        header = VirtioNetHeader(flags=1, gso_type=3, hdr_len=54, num_buffers=2)
+        again = VirtioNetHeader.unpack(header.pack())
+        assert again == header
+
+    def test_size_is_twelve_bytes(self):
+        assert VirtioNetHeader.SIZE == 12
+
+    def test_short_header_rejected(self):
+        with pytest.raises(ValueError):
+            VirtioNetHeader.unpack(b"\x00" * 4)
+
+
+class TestEthernetFrame:
+    def test_minimum_frame_size(self):
+        assert len(ethernet_frame(0)) == 64
+        assert len(ethernet_frame(1)) == 64
+
+    def test_large_payload(self):
+        assert len(ethernet_frame(1400)) == 1400 + 14 + 28
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ethernet_frame(-1)
+
+
+class TestNetDatapath:
+    def test_tx_round_trip(self, net):
+        frame = ethernet_frame(100)
+        net.driver_send(frame)
+        head, got = net.device_fetch_tx()
+        assert got == frame
+        net.tx.push_used(head)
+        assert net.tx.get_used() is not None
+
+    def test_tx_empty_returns_none(self, net):
+        assert net.device_fetch_tx() is None
+
+    def test_rx_delivery(self, net):
+        net.driver_post_rx_buffer()
+        frame = b"\xAB" * 200
+        assert net.device_receive_frame(frame)
+        head, written = net.rx.get_used()
+        assert written == VirtioNetHeader.SIZE + 200
+
+    def test_rx_drop_without_buffers(self, net):
+        assert not net.device_receive_frame(b"dropped")
+
+    def test_rx_drop_on_undersized_buffer(self, net):
+        net.rx.add_buffer([], [32])
+        assert not net.device_receive_frame(bytes(2000))
+
+    def test_queue_layout(self, net):
+        assert net.rx is net.queue(0)
+        assert net.tx is net.queue(1)
+
+
+class TestBlkHeader:
+    def test_pack_unpack_round_trip(self):
+        header = BlkRequestHeader(type=VIRTIO_BLK_T_OUT, sector=123456)
+        assert BlkRequestHeader.unpack(header.pack()) == header
+
+    def test_size_is_sixteen_bytes(self):
+        assert BlkRequestHeader.SIZE == 16
+
+
+class TestBlkDatapath:
+    def test_write_request_carries_payload(self, blk):
+        data = bytes(range(256)) * 2
+        blk.driver_write(10, data)
+        chain, header, payload = blk.device_fetch_request()
+        assert header.type == VIRTIO_BLK_T_OUT
+        assert header.sector == 10
+        assert payload == data
+        blk.device_complete(chain, b"", VIRTIO_BLK_S_OK)
+        head, written = blk.vq.get_used()
+        assert written == 1  # just the status byte
+
+    def test_read_request_returns_data_and_status(self, blk):
+        blk.driver_read(0, SECTOR_BYTES)
+        chain, header, payload = blk.device_fetch_request()
+        assert header.type == VIRTIO_BLK_T_IN
+        assert payload == b""
+        blk.device_complete(chain, b"\x5A" * SECTOR_BYTES, VIRTIO_BLK_S_OK)
+        head, written = blk.vq.get_used()
+        assert written == SECTOR_BYTES + 1
+        addr, _ = chain.writable[0]
+        assert blk.vq.memory.read(addr, SECTOR_BYTES) == b"\x5A" * SECTOR_BYTES
+
+    def test_flush_request(self, blk):
+        blk.driver_flush()
+        chain, header, _ = blk.device_fetch_request()
+        assert header.type == VIRTIO_BLK_T_FLUSH
+
+    def test_unaligned_io_rejected(self, blk):
+        with pytest.raises(ValueError, match="sector aligned"):
+            blk.driver_read(0, 100)
+
+    def test_out_of_range_io_rejected(self, blk):
+        with pytest.raises(ValueError, match="outside"):
+            blk.driver_read(blk.capacity_sectors, SECTOR_BYTES)
+
+    def test_empty_queue_returns_none(self, blk):
+        assert blk.device_fetch_request() is None

@@ -1,0 +1,80 @@
+"""Unit tests for the virtio-pci transport."""
+
+import pytest
+
+from repro.virtio import (
+    VIRTIO_VENDOR_ID,
+    DeviceStatus,
+    VirtioBlkDevice,
+    VirtioNetDevice,
+    VirtioPciFunction,
+)
+
+
+@pytest.fixture
+def pci():
+    return VirtioPciFunction(VirtioNetDevice())
+
+
+class TestConfigSpace:
+    def test_vendor_is_redhat_virtio(self, pci):
+        assert pci.config_space.vendor_id == VIRTIO_VENDOR_ID
+
+    def test_modern_device_id_offset(self, pci):
+        assert pci.config_space.device_id == 0x1040 + 1  # net
+
+    def test_blk_class_code(self):
+        pci = VirtioPciFunction(VirtioBlkDevice())
+        assert pci.config_space.class_code == 0x010000  # storage
+
+    def test_probe_reports_capabilities(self, pci):
+        probe = pci.probe()
+        assert probe["virtio_device_id"] == 1
+        assert probe["n_capabilities"] == 5
+
+
+class TestRegisterFile:
+    def test_driver_init_through_registers(self, pci):
+        pci.driver_init()
+        assert pci.device.is_live
+        assert pci.access_count > 10
+
+    def test_feature_windows(self, pci):
+        pci.write_register("device_feature_select", 1)
+        high = pci.read_register("device_feature")
+        assert high & 0x1  # VERSION_1 is bit 32
+
+    def test_unknown_register_raises(self, pci):
+        with pytest.raises(KeyError):
+            pci.read_register("queue_desc_lo_hi")
+        with pytest.raises(KeyError):
+            pci.write_register("not_a_register", 1)
+
+    def test_notify_invokes_callback(self):
+        notified = []
+        pci = VirtioPciFunction(VirtioNetDevice(), on_notify=notified.append)
+        pci.driver_init()
+        pci.write_register("queue_notify", 1)
+        assert notified == [1]
+        assert pci.notify_count == 1
+
+    def test_isr_read_clears(self, pci):
+        pci.raise_isr()
+        assert pci.read_register("isr_status") == 1
+        assert pci.read_register("isr_status") == 0
+
+    def test_feature_subset_negotiation(self, pci):
+        offered_lo = pci.read_register("device_feature")
+        subset = offered_lo & 0x20  # MAC only of the low word
+        pci.write_register("device_status", DeviceStatus.ACKNOWLEDGE)
+        pci.write_register("device_status",
+                           DeviceStatus.ACKNOWLEDGE | DeviceStatus.DRIVER)
+        pci.write_register("driver_feature_select", 0)
+        pci.write_register("driver_feature", subset)
+        pci.write_register("driver_feature_select", 1)
+        pci.write_register("driver_feature", 0x1)  # VERSION_1
+        pci.write_register(
+            "device_status",
+            DeviceStatus.ACKNOWLEDGE | DeviceStatus.DRIVER | DeviceStatus.FEATURES_OK,
+        )
+        assert pci.device.driver_features == subset | (1 << 32)

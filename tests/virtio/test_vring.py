@@ -1,0 +1,153 @@
+"""Unit tests for the split virtqueue."""
+
+import pytest
+
+from repro.virtio import GuestMemory, VirtQueue
+
+
+@pytest.fixture
+def vq():
+    return VirtQueue(size=8, event_idx=True, indirect=True)
+
+
+class TestConstruction:
+    def test_size_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            VirtQueue(size=6)
+        with pytest.raises(ValueError):
+            VirtQueue(size=1)
+
+    def test_all_descriptors_start_free(self, vq):
+        assert vq.num_free == 8
+
+
+class TestBufferRoundTrip:
+    def test_device_reads_driver_data(self, vq):
+        vq.add_buffer([b"hello", b"world"], [])
+        chain = vq.pop_avail()
+        assert vq.read_chain(chain) == b"helloworld"
+
+    def test_device_writes_driver_reads_back(self, vq):
+        head = vq.add_buffer([], [16])
+        chain = vq.pop_avail()
+        vq.write_chain(chain, b"response")
+        vq.push_used(chain.head, 8)
+        got_head, written = vq.get_used()
+        assert got_head == head and written == 8
+        addr, _length = chain.writable[0]
+        assert vq.memory.read(addr, 8) == b"response"
+
+    def test_empty_buffer_rejected(self, vq):
+        with pytest.raises(ValueError):
+            vq.add_buffer([], [])
+
+    def test_writable_segment_must_be_positive(self, vq):
+        with pytest.raises(ValueError):
+            vq.add_buffer([], [0])
+
+    def test_write_overflow_rejected(self, vq):
+        vq.add_buffer([], [4])
+        chain = vq.pop_avail()
+        with pytest.raises(ValueError, match="exceed"):
+            vq.write_chain(chain, b"too much data")
+
+    def test_scatter_across_segments(self, vq):
+        vq.add_buffer([], [4, 4, 4])
+        chain = vq.pop_avail()
+        vq.write_chain(chain, b"0123456789")
+        parts = [vq.memory.read(addr, length) for addr, length in chain.writable]
+        assert b"".join(parts)[:10] == b"0123456789"
+
+
+class TestDescriptorManagement:
+    def test_direct_chains_consume_descriptors(self):
+        vq = VirtQueue(size=4, indirect=False)
+        vq.add_buffer([b"a", b"b"], [], use_indirect=False)
+        assert vq.num_free == 2
+
+    def test_indirect_chain_consumes_one_descriptor(self, vq):
+        vq.add_buffer([b"a", b"b", b"c"], [4], use_indirect=True)
+        assert vq.num_free == 7
+
+    def test_exhaustion_raises(self):
+        vq = VirtQueue(size=2, indirect=False)
+        vq.add_buffer([b"x"], [], use_indirect=False)
+        vq.add_buffer([b"y"], [], use_indirect=False)
+        with pytest.raises(IndexError):
+            vq.add_buffer([b"z"], [], use_indirect=False)
+
+    def test_descriptors_recycled_after_use(self):
+        vq = VirtQueue(size=2, indirect=False)
+        for _ in range(10):
+            vq.add_buffer([b"data"], [], use_indirect=False)
+            chain = vq.pop_avail()
+            vq.push_used(chain.head)
+            vq.get_used()
+        assert vq.num_free == 2
+
+    def test_indirect_requires_negotiation(self):
+        vq = VirtQueue(size=8, indirect=False)
+        with pytest.raises(ValueError, match="not negotiated"):
+            vq.add_buffer([b"a"], [], use_indirect=True)
+
+
+class TestNotificationSuppression:
+    def test_event_idx_suppresses_redundant_kicks(self, vq):
+        vq.add_buffer([b"one"], [])
+        assert vq.needs_kick()
+        # Device consumes everything and publishes avail_event.
+        vq.pop_avail()
+        assert vq.pop_avail() is None
+        vq.add_buffer([b"two"], [])
+        assert vq.needs_kick()  # crossed avail_event again
+
+    def test_without_event_idx_always_kicks(self):
+        vq = VirtQueue(size=8, event_idx=False)
+        vq.add_buffer([b"x"], [])
+        assert vq.needs_kick()
+        vq.add_buffer([b"y"], [])
+        assert vq.needs_kick()
+
+    def test_interrupt_suppression_counts(self, vq):
+        for _ in range(3):
+            vq.add_buffer([b"p"], [])
+        for _ in range(3):
+            chain = vq.pop_avail()
+            vq.push_used(chain.head)
+        assert vq.needs_interrupt()
+        vq.get_used()  # driver catches up, publishes used_event
+        vq.get_used()
+        vq.get_used()
+        vq.add_buffer([b"q"], [])
+        chain = vq.pop_avail()
+        vq.push_used(chain.head)
+        assert vq.needs_interrupt()
+
+
+class TestDeviceSide:
+    def test_pop_avail_returns_none_when_empty(self, vq):
+        assert vq.pop_avail() is None
+
+    def test_avail_pending_counts(self, vq):
+        vq.add_buffer([b"a"], [])
+        vq.add_buffer([b"b"], [])
+        assert vq.avail_pending == 2
+        vq.pop_avail()
+        assert vq.avail_pending == 1
+
+    def test_get_used_empty_returns_none(self, vq):
+        assert vq.get_used() is None
+
+    def test_malformed_chain_readable_after_writable(self):
+        from repro.virtio.vring import Descriptor, VRING_DESC_F_NEXT, VRING_DESC_F_WRITE
+
+        vq = VirtQueue(size=8, indirect=False)
+        memory = vq.memory
+        a, b = memory.alloc(4), memory.alloc(4)
+        vq.desc[0] = Descriptor(addr=a, length=4,
+                                flags=VRING_DESC_F_WRITE | VRING_DESC_F_NEXT, next=1)
+        vq.desc[1] = Descriptor(addr=b, length=4, flags=0)
+        vq.avail_ring.append(0)
+        vq.avail_idx += 1
+        with pytest.raises(RuntimeError, match="malformed"):
+            vq.pop_avail()

@@ -1,0 +1,102 @@
+"""Property-based tests for the virtqueue (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.virtio import VirtQueue
+
+payloads = st.lists(
+    st.binary(min_size=1, max_size=64), min_size=1, max_size=3
+)
+
+
+@given(buffers=st.lists(payloads, min_size=1, max_size=20))
+@settings(max_examples=60, deadline=None)
+def test_data_integrity_through_the_ring(buffers):
+    """Whatever the driver posts, the device reads back, intact and in order."""
+    vq = VirtQueue(size=64)
+    expected = []
+    for segments in buffers:
+        vq.add_buffer(segments, [])
+        expected.append(b"".join(segments))
+    seen = []
+    while True:
+        chain = vq.pop_avail()
+        if chain is None:
+            break
+        seen.append(vq.read_chain(chain))
+        vq.push_used(chain.head)
+    assert seen == expected
+
+
+@given(
+    n_cycles=st.integers(min_value=1, max_value=100),
+    n_segments=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=40, deadline=None)
+def test_descriptor_leak_freedom(n_cycles, n_segments):
+    """Free-descriptor count returns to its initial value after any
+    number of complete post/consume/reap cycles."""
+    vq = VirtQueue(size=16)
+    initial_free = vq.num_free
+    for i in range(n_cycles):
+        vq.add_buffer([bytes([i % 256])] * n_segments, [8])
+        chain = vq.pop_avail()
+        vq.write_chain(chain, b"12345678")
+        vq.push_used(chain.head, 8)
+        vq.get_used()
+    assert vq.num_free == initial_free
+
+
+@given(
+    writes=st.lists(st.binary(min_size=0, max_size=32), min_size=1, max_size=20)
+)
+@settings(max_examples=50, deadline=None)
+def test_used_ring_reports_exact_written_lengths(writes):
+    vq = VirtQueue(size=64)
+    for data in writes:
+        vq.add_buffer([], [max(1, len(data))])
+    reported = []
+    while True:
+        chain = vq.pop_avail()
+        if chain is None:
+            break
+        data = writes[len(reported)]
+        vq.write_chain(chain, data)
+        vq.push_used(chain.head, len(data))
+        reported.append(len(data))
+    reaped = []
+    while True:
+        used = vq.get_used()
+        if used is None:
+            break
+        reaped.append(used[1])
+    assert reaped == [len(d) for d in writes]
+
+
+@given(
+    counts=st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=30)
+)
+@settings(max_examples=40, deadline=None)
+def test_avail_and_used_cursors_are_monotone(counts):
+    """avail_idx and used_idx only grow; device never over-consumes."""
+    vq = VirtQueue(size=256)
+    last_avail = last_used = 0
+    for batch in counts:
+        for _ in range(batch):
+            vq.add_buffer([b"x"], [])
+        assert vq.avail_idx >= last_avail
+        last_avail = vq.avail_idx
+        consumed = 0
+        while True:
+            chain = vq.pop_avail()
+            if chain is None:
+                break
+            consumed += 1
+            vq.push_used(chain.head)
+            vq.get_used()
+        assert consumed == batch
+        assert vq.used_idx >= last_used
+        last_used = vq.used_idx
+    assert vq.avail_idx == sum(counts)
+    assert vq.used_idx == sum(counts)

@@ -1,0 +1,117 @@
+"""Tests for the application workloads (Figs 12-16)."""
+
+import pytest
+
+from repro.workloads import (
+    MARIADB_READ,
+    NGINX,
+    REDIS,
+    run_app,
+    run_mariadb,
+    run_nginx_sweep,
+    run_redis_client_sweep,
+    run_redis_size_sweep,
+    service_time,
+)
+
+
+class TestServiceModel:
+    def test_vm_service_exceeds_bm_by_the_exit_budget(self, testbed):
+        bm_service = service_time(testbed.sim, testbed.bm, NGINX)
+        vm_service = service_time(testbed.sim, testbed.vm, NGINX)
+        exit_budget = testbed.vm.io_operation_overhead(NGINX.exits_per_op)
+        assert vm_service - bm_service == pytest.approx(exit_budget, rel=0.3)
+
+    def test_clients_validation(self, testbed):
+        with pytest.raises(ValueError):
+            run_app(testbed.sim, testbed.bm, NGINX, clients=0)
+
+    def test_throughput_saturates_with_clients(self, testbed):
+        few = run_app(testbed.sim, testbed.bm, MARIADB_READ, clients=4)
+        many = run_app(testbed.sim, testbed.bm, MARIADB_READ, clients=500)
+        assert many.requests_per_second > few.requests_per_second
+        more = run_app(testbed.sim, testbed.bm, MARIADB_READ, clients=1000)
+        assert more.requests_per_second == pytest.approx(
+            many.requests_per_second, rel=0.05
+        )
+
+    def test_response_time_grows_past_saturation(self, testbed):
+        at_cap = run_app(testbed.sim, testbed.bm, NGINX, clients=32)
+        overloaded = run_app(testbed.sim, testbed.bm, NGINX, clients=320)
+        assert overloaded.mean_response_s > 5 * at_cap.mean_response_s
+
+
+class TestNginx:
+    def test_bm_gain_in_paper_band(self, testbed):
+        bm = run_nginx_sweep(testbed.sim, testbed.bm)
+        vm = run_nginx_sweep(testbed.sim, testbed.vm)
+        gain = bm.rps(400) / vm.rps(400)
+        assert 1.4 < gain < 1.7
+
+    def test_response_time_about_30_percent_shorter(self, testbed):
+        bm = run_nginx_sweep(testbed.sim, testbed.bm)
+        vm = run_nginx_sweep(testbed.sim, testbed.vm)
+        ratio = bm.mean_response(800) / vm.mean_response(800)
+        assert 0.58 < ratio < 0.78
+
+
+class TestMariadb:
+    def test_read_only_near_paper_absolutes(self, testbed):
+        bm = run_mariadb(testbed.sim, testbed.bm)
+        vm = run_mariadb(testbed.sim, testbed.vm)
+        assert bm.qps("read-only") == pytest.approx(195e3, rel=0.06)
+        assert vm.qps("read-only") == pytest.approx(170e3, rel=0.06)
+
+    def test_gain_ordering_ro_lt_wo_lt_rw(self, testbed):
+        bm = run_mariadb(testbed.sim, testbed.bm)
+        vm = run_mariadb(testbed.sim, testbed.vm)
+        gains = {mix: bm.qps(mix) / vm.qps(mix)
+                 for mix in ("read-only", "write-only", "read-write")}
+        assert gains["read-only"] < gains["write-only"] < gains["read-write"]
+
+    def test_write_paths_slower_than_read_only(self, testbed):
+        bm = run_mariadb(testbed.sim, testbed.bm)
+        assert bm.qps("write-only") < bm.qps("read-only")
+
+
+class TestRedis:
+    def test_client_sweep_gain_in_band(self, testbed):
+        bm = run_redis_client_sweep(testbed.sim, testbed.bm)
+        vm = run_redis_client_sweep(testbed.sim, testbed.vm)
+        for clients in (1000, 10000):
+            gain = bm.rps(clients) / vm.rps(clients)
+            assert 1.15 < gain < 1.45
+
+    def test_size_sweep_bm_flat_vm_wobbly(self, testbed):
+        bm = run_redis_size_sweep(testbed.sim, testbed.bm)
+        vm = run_redis_size_sweep(testbed.sim, testbed.vm)
+
+        def spread(series):
+            return (max(series) - min(series)) / (sum(series) / len(series))
+
+        assert spread(bm.series()) < spread(vm.series())
+
+    def test_size_sweep_fluctuation_is_reproducible(self, testbed):
+        a = run_redis_size_sweep(testbed.sim, testbed.vm)
+        b = run_redis_size_sweep(testbed.sim, testbed.vm)
+        # The coloring factor is deterministic per size; only the small
+        # measurement noise differs between runs.
+        for size in (4, 4096):
+            assert a.rps(size) == pytest.approx(b.rps(size), rel=0.08)
+
+    def test_larger_values_cost_throughput(self, testbed):
+        sweep = run_redis_size_sweep(testbed.sim, testbed.bm)
+        assert sweep.rps(4096) < sweep.rps(4)
+
+
+class TestProfiles:
+    def test_exit_intensity_ordering_matches_io_weight(self):
+        from repro.workloads import MARIADB_RW, MARIADB_WRITE
+
+        assert REDIS.exits_per_op < MARIADB_READ.exits_per_op
+        assert MARIADB_READ.exits_per_op < MARIADB_WRITE.exits_per_op
+        assert MARIADB_WRITE.exits_per_op < MARIADB_RW.exits_per_op
+
+    def test_nginx_is_connection_churny(self):
+        assert NGINX.new_connection
+        assert NGINX.packets_in >= 5

@@ -1,0 +1,93 @@
+"""Deeper tests for the application service-time engine."""
+
+import pytest
+
+from repro.workloads.apps import measure_blk_op_latency, run_app, service_time
+from repro.workloads.calibration import (
+    MARIADB_READ,
+    MARIADB_WRITE,
+    NGINX,
+    REDIS,
+    AppProfile,
+)
+
+
+class TestServiceTimeComposition:
+    def test_physical_and_bm_see_identical_kernel_costs(self, testbed):
+        """Same CPU, same kernel: any service difference between a
+        physical machine and a bm-guest comes from NUMA only."""
+        compute_free = AppProfile(
+            name="kernel-only", cpu_s=0.0, memory_intensity=0.0,
+            syscalls=4, packets_in=1, packets_out=1, new_connection=False,
+        )
+        bm = service_time(testbed.sim, testbed.bm, compute_free)
+        pm = service_time(testbed.sim, testbed.physical, compute_free)
+        assert bm == pytest.approx(pm)
+
+    def test_connection_churn_only_charged_when_configured(self, testbed):
+        base = AppProfile(name="nc", cpu_s=10e-6, memory_intensity=0.1,
+                          syscalls=2, packets_in=1, packets_out=1,
+                          new_connection=False)
+        churny = AppProfile(name="c", cpu_s=10e-6, memory_intensity=0.1,
+                            syscalls=2, packets_in=1, packets_out=1,
+                            new_connection=True)
+        assert (service_time(testbed.sim, testbed.bm, churny)
+                > service_time(testbed.sim, testbed.bm, base))
+
+    def test_packet_cost_scale_discount(self, testbed):
+        hot = AppProfile(name="hot", cpu_s=5e-6, memory_intensity=0.2,
+                         syscalls=1, packets_in=2, packets_out=2,
+                         new_connection=False, packet_cost_scale=0.3)
+        cold = AppProfile(name="cold", cpu_s=5e-6, memory_intensity=0.2,
+                          syscalls=1, packets_in=2, packets_out=2,
+                          new_connection=False, packet_cost_scale=1.0)
+        assert (service_time(testbed.sim, testbed.bm, hot)
+                < service_time(testbed.sim, testbed.bm, cold))
+
+    def test_group_commit_amortizes_storage(self, testbed):
+        solo = AppProfile(name="solo", cpu_s=50e-6, memory_intensity=0.3,
+                          syscalls=4, packets_in=1, packets_out=1,
+                          new_connection=False, blk_writes=1, group_commit=1)
+        batched = AppProfile(name="batched", cpu_s=50e-6, memory_intensity=0.3,
+                             syscalls=4, packets_in=1, packets_out=1,
+                             new_connection=False, blk_writes=1, group_commit=32)
+        blk = measure_blk_op_latency(testbed.sim, testbed.bm, 16384, False)
+        s_solo = service_time(testbed.sim, testbed.bm, solo,
+                              blk_write_latency_s=blk)
+        s_batched = service_time(testbed.sim, testbed.bm, batched,
+                                 blk_write_latency_s=blk)
+        assert s_solo - s_batched == pytest.approx(blk * (1 - 1 / 32), rel=0.01)
+
+    def test_service_multiplier_scales_result(self, testbed):
+        plain = run_app(testbed.sim, testbed.bm, REDIS, clients=100)
+        slowed = run_app(testbed.sim, testbed.bm, REDIS, clients=100,
+                         service_multiplier=2.0)
+        assert slowed.service_s == pytest.approx(2 * plain.service_s)
+
+
+class TestBlkProbe:
+    def test_probe_returns_positive_mean(self, testbed):
+        latency = measure_blk_op_latency(testbed.sim, testbed.bm, 4096, True)
+        assert 50e-6 < latency < 2e-3
+
+    def test_vm_probe_slower(self, testbed):
+        bm = measure_blk_op_latency(testbed.sim, testbed.bm, 4096, True)
+        vm = measure_blk_op_latency(testbed.sim, testbed.vm, 4096, True)
+        assert vm > bm
+
+
+class TestClosedLoopShape:
+    def test_krps_helper(self, testbed):
+        result = run_app(testbed.sim, testbed.bm, NGINX, clients=64)
+        assert result.krps == pytest.approx(result.requests_per_second / 1e3)
+
+    def test_single_client_no_queueing(self, testbed):
+        result = run_app(testbed.sim, testbed.bm, MARIADB_READ, clients=1)
+        assert result.mean_response_s == pytest.approx(result.service_s)
+
+    def test_heavy_overload_response_linear_in_clients(self, testbed):
+        light = run_app(testbed.sim, testbed.bm, MARIADB_WRITE, clients=256)
+        heavy = run_app(testbed.sim, testbed.bm, MARIADB_WRITE, clients=512)
+        assert heavy.mean_response_s == pytest.approx(
+            2 * light.mean_response_s, rel=0.01
+        )

@@ -1,0 +1,66 @@
+"""Tests for the SPEC and STREAM workload models (Figs 7-8)."""
+
+import pytest
+
+from repro.workloads import CINT2006, run_spec, run_stream
+
+
+class TestSpec:
+    def test_suite_has_twelve_components(self):
+        assert len(CINT2006) == 12
+        names = {b.name for b in CINT2006}
+        assert "429.mcf" in names and "462.libquantum" in names
+
+    def test_bm_beats_physical_by_about_4_percent(self, testbed):
+        bm = run_spec(testbed.sim, testbed.bm)
+        pm = run_spec(testbed.sim, testbed.physical)
+        assert bm.geomean / pm.geomean == pytest.approx(1.04, abs=0.02)
+
+    def test_vm_trails_physical_by_about_4_percent(self, testbed):
+        vm = run_spec(testbed.sim, testbed.vm)
+        pm = run_spec(testbed.sim, testbed.physical)
+        assert vm.geomean / pm.geomean == pytest.approx(0.96, abs=0.02)
+
+    def test_memory_bound_components_show_the_largest_gaps(self, testbed):
+        bm = run_spec(testbed.sim, testbed.bm)
+        vm = run_spec(testbed.sim, testbed.vm)
+        mcf_gap = bm.ratios["429.mcf"] / vm.ratios["429.mcf"]
+        hmmer_gap = bm.ratios["456.hmmer"] / vm.ratios["456.hmmer"]
+        assert mcf_gap > hmmer_gap
+
+    def test_ratios_scale_invariant(self, testbed):
+        a = run_spec(testbed.sim, testbed.bm, work_scale=1e-4)
+        b = run_spec(testbed.sim, testbed.bm, work_scale=1e-3)
+        assert a.geomean == pytest.approx(b.geomean)
+
+
+class TestStream:
+    def test_bm_matches_physical(self, testbed):
+        bm = run_stream(testbed.sim, testbed.bm)
+        pm = run_stream(testbed.sim, testbed.physical)
+        for kernel in ("copy", "scale", "add", "triad"):
+            assert bm.gbps(kernel) == pytest.approx(pm.gbps(kernel), rel=0.02)
+
+    def test_vm_is_98_percent_under_load(self, testbed):
+        bm = run_stream(testbed.sim, testbed.bm)
+        vm = run_stream(testbed.sim, testbed.vm)
+        ratio = vm.bandwidth["triad"] / bm.bandwidth["triad"]
+        assert 0.96 <= ratio <= 0.99
+
+    def test_ten_runs_recorded(self, testbed):
+        result = run_stream(testbed.sim, testbed.bm, repeats=10)
+        assert all(len(samples) == 10 for samples in result.runs.values())
+
+    def test_best_is_max_of_runs(self, testbed):
+        result = run_stream(testbed.sim, testbed.bm)
+        for kernel, samples in result.runs.items():
+            assert result.bandwidth[kernel] == max(samples)
+
+    def test_vm_noisier_than_bm(self, testbed):
+        bm = run_stream(testbed.sim, testbed.bm, repeats=10)
+        vm = run_stream(testbed.sim, testbed.vm, repeats=10)
+
+        def spread(samples):
+            return (max(samples) - min(samples)) / max(samples)
+
+        assert spread(vm.runs["copy"]) > spread(bm.runs["copy"]) * 0.9

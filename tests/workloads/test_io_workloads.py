@@ -1,0 +1,98 @@
+"""Tests for netperf, sockperf, and fio workload models (Figs 9-11)."""
+
+import pytest
+
+from repro.backend import RateLimits
+from repro.core import BmHiveServer
+from repro.sim import Simulator
+from repro.workloads import (
+    dpdk_latency_test,
+    fio_run,
+    ping_test,
+    tcp_throughput_test,
+    udp_latency_test,
+    udp_pps_test,
+)
+
+
+class TestUdpPps:
+    def test_both_guests_above_paper_floor(self, testbed):
+        bm = udp_pps_test(testbed.sim, testbed.bm, testbed.bm_peer, duration_s=0.02)
+        vm = udp_pps_test(testbed.sim, testbed.vm, testbed.vm_peer, duration_s=0.02)
+        assert bm.mean_pps > 3.2e6
+        assert vm.mean_pps > 3.2e6
+
+    def test_limit_respected(self, testbed):
+        bm = udp_pps_test(testbed.sim, testbed.bm, testbed.bm_peer, duration_s=0.02)
+        assert bm.mean_pps <= 4.05e6
+
+    def test_vm_slightly_ahead(self, testbed):
+        bm = udp_pps_test(testbed.sim, testbed.bm, testbed.bm_peer, duration_s=0.02)
+        vm = udp_pps_test(testbed.sim, testbed.vm, testbed.vm_peer, duration_s=0.02)
+        assert 1.0 < vm.mean_pps / bm.mean_pps < 1.15
+
+    def test_receiver_is_the_bottleneck(self, testbed):
+        result = udp_pps_test(testbed.sim, testbed.vm, testbed.vm_peer,
+                              duration_s=0.01)
+        assert result.bottleneck_stage == "receiver"
+
+    def test_unrestricted_bypass_reaches_paper_scale(self):
+        sim = Simulator(seed=44)
+        hive = BmHiveServer(sim)
+        free = RateLimits.unrestricted()
+        a = hive.launch_guest(name="a", limits=free)
+        b = hive.launch_guest(name="b", limits=free)
+        result = udp_pps_test(sim, a, b, duration_s=0.004, bypass=True, batch=64)
+        assert result.mean_pps > 12e6  # paper: 16M
+
+
+class TestTcpThroughput:
+    def test_both_saturate_the_10g_cap(self, testbed):
+        bm = tcp_throughput_test(testbed.sim, testbed.bm)
+        vm = tcp_throughput_test(testbed.sim, testbed.vm)
+        assert bm.at_limit and vm.at_limit
+        assert bm.throughput_gbps <= 10.6
+        assert vm.throughput_gbps <= 10.6
+
+
+class TestLatencies:
+    def test_kernel_stack_parity(self, testbed):
+        bm = udp_latency_test(testbed.sim, testbed.bm, n_samples=400)
+        vm = udp_latency_test(testbed.sim, testbed.vm, n_samples=400)
+        assert bm.summary.mean / vm.summary.mean == pytest.approx(1.0, abs=0.15)
+
+    def test_dpdk_mode_vm_wins(self, testbed):
+        bm = dpdk_latency_test(testbed.sim, testbed.bm, n_samples=400)
+        vm = dpdk_latency_test(testbed.sim, testbed.vm, n_samples=400)
+        assert vm.summary.mean < bm.summary.mean
+
+    def test_ping_is_two_one_way_trips(self, testbed):
+        one_way = udp_latency_test(testbed.sim, testbed.bm, n_samples=400)
+        rtt = ping_test(testbed.sim, testbed.bm, n_samples=400)
+        assert rtt.summary.mean == pytest.approx(2 * one_way.summary.mean, rel=0.2)
+
+
+class TestFio:
+    def test_cloud_storage_saturates_25k_iops(self, testbed):
+        result = fio_run(testbed.sim, testbed.bm, ops_per_thread=300)
+        assert result.iops == pytest.approx(25e3, rel=0.08)
+
+    def test_bm_latency_advantage(self, testbed):
+        bm = fio_run(testbed.sim, testbed.bm, ops_per_thread=300)
+        vm = fio_run(testbed.sim, testbed.vm, ops_per_thread=300)
+        assert vm.mean_latency_us / bm.mean_latency_us > 1.15
+
+    def test_writes_faster_than_reads_on_media(self, testbed):
+        read = fio_run(testbed.sim, testbed.bm, "randread", ops_per_thread=200)
+        write = fio_run(testbed.sim, testbed.bm, "randwrite", ops_per_thread=200)
+        assert write.mean_latency_us < read.mean_latency_us
+
+    def test_unknown_pattern_rejected(self, testbed):
+        with pytest.raises(ValueError):
+            fio_run(testbed.sim, testbed.bm, pattern="seqread")
+
+    def test_bandwidth_consistent_with_iops(self, testbed):
+        result = fio_run(testbed.sim, testbed.bm, ops_per_thread=200)
+        assert result.bandwidth_mbps == pytest.approx(
+            result.iops * 4096 / 1e6, rel=0.01
+        )

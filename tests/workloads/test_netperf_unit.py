@@ -1,0 +1,62 @@
+"""Unit-level tests for netperf internals and result invariants."""
+
+import pytest
+
+from repro.workloads.netperf import (
+    UDP_PPS_PACKET_BYTES,
+    PpsResult,
+    tcp_throughput_test,
+    udp_pps_test,
+)
+
+
+class TestPacketFormat:
+    def test_pps_packet_is_headers_plus_one_byte(self):
+        """netperf sends 'headers + one byte of data' (Section 4.3):
+        14 Ethernet + 20 IP + 8 UDP + 1 = 43... we carry the 4-byte FCS
+        too, landing at 47 on-wire bytes."""
+        assert UDP_PPS_PACKET_BYTES == 47
+
+
+class TestResultInvariants:
+    def test_mpps_property(self):
+        result = PpsResult("bm", 3.4e6, 1e4, [3.4e6], "receiver")
+        assert result.mpps == pytest.approx(3.4)
+
+    def test_intervals_near_mean(self, testbed):
+        result = udp_pps_test(testbed.sim, testbed.vm, testbed.vm_peer,
+                              duration_s=0.02)
+        for rate in result.intervals_pps:
+            assert rate == pytest.approx(result.mean_pps, rel=0.25)
+
+    def test_jitter_nonnegative(self, testbed):
+        result = udp_pps_test(testbed.sim, testbed.bm, testbed.bm_peer,
+                              duration_s=0.01)
+        assert result.jitter_pps >= 0.0
+        assert result.gap_cv >= 0.0
+
+    def test_flows_scale_offered_load(self, testbed):
+        few = udp_pps_test(testbed.sim, testbed.vm, testbed.vm_peer,
+                           duration_s=0.01, flows=2)
+        many = udp_pps_test(testbed.sim, testbed.vm, testbed.vm_peer,
+                            duration_s=0.01, flows=16)
+        assert many.mean_pps > few.mean_pps
+
+    def test_sender_bottleneck_with_one_flow(self, testbed):
+        result = udp_pps_test(testbed.sim, testbed.vm, testbed.vm_peer,
+                              duration_s=0.01, flows=1)
+        assert result.bottleneck_stage == "sender"
+
+
+class TestTcpInvariants:
+    def test_at_limit_predicate(self, testbed):
+        result = tcp_throughput_test(testbed.sim, testbed.bm)
+        assert result.link_limit_gbps == 10.0
+        assert result.at_limit == (result.throughput_gbps >= 9.5)
+
+    def test_throughput_scales_with_duration_consistently(self, testbed):
+        short = tcp_throughput_test(testbed.sim, testbed.bm, duration_s=0.02)
+        longer = tcp_throughput_test(testbed.sim, testbed.bm, duration_s=0.05)
+        assert short.throughput_gbps == pytest.approx(
+            longer.throughput_gbps, rel=0.15
+        )
