@@ -1,0 +1,66 @@
+"""Microbenchmarks for the DES kernel hot path.
+
+Unlike the figure benchmarks these measure the substrate itself: raw
+event dispatch through the single-waiter fast lane, the generic
+callback path, and a doorbell-parked poll loop. Useful for catching
+kernel regressions without re-running whole experiments.
+"""
+
+from repro.sim import Doorbell, Simulator
+
+N_EVENTS = 50_000
+
+
+def _timeout_chain(fast_path):
+    sim = Simulator(seed=0, fast_path=fast_path)
+
+    def proc(sim):
+        for _ in range(N_EVENTS):
+            yield sim.timeout(1e-6)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    return sim
+
+
+def test_bench_fast_lane_timeouts(benchmark):
+    sim = benchmark.pedantic(_timeout_chain, args=(True,), rounds=3, iterations=1)
+    assert sim.stats.fast_path_hits == N_EVENTS + 1  # timeouts + start
+
+
+def test_bench_generic_path_timeouts(benchmark):
+    sim = benchmark.pedantic(_timeout_chain, args=(False,), rounds=3, iterations=1)
+    assert sim.stats.fast_path_hits == 0
+    assert sim.stats.events_popped == N_EVENTS + 1
+
+
+def _doorbell_pingpong():
+    sim = Simulator(seed=0)
+    bell = Doorbell(sim, 1e-6, enabled=True)
+    work = []
+    handled = [0]
+
+    def loop(sim):
+        while handled[0] < N_EVENTS // 10:
+            if work:
+                work.pop()
+                handled[0] += 1
+                continue
+            yield bell.park()
+
+    def producer(sim):
+        for _ in range(N_EVENTS // 10):
+            yield sim.timeout(25e-6)
+            work.append(1)
+            bell.ring()
+
+    sim.spawn(loop(sim))
+    sim.spawn(producer(sim))
+    sim.run()
+    return sim
+
+
+def test_bench_doorbell_pingpong(benchmark):
+    sim = benchmark.pedantic(_doorbell_pingpong, rounds=3, iterations=1)
+    assert sim.stats.doorbell_rings == N_EVENTS // 10
+    assert sim.stats.idle_polls_skipped > 0

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Run the experiment benchmark suite and write ``BENCH_<n>.json``.
+
+For every experiment (or the subset named on the command line) this
+records wall-clock time and the DES kernel's event counters
+(:func:`repro.sim.global_event_totals`), then writes one auto-numbered
+JSON file in the repository root so successive runs can be diffed:
+
+    python scripts/export_bench.py                # all experiments
+    python scripts/export_bench.py fig11 fig9     # just these
+    REPRO_IDLE_SKIP=0 python scripts/export_bench.py fig11   # A/B runs
+
+Output shape::
+
+    {
+      "idle_skip": true,
+      "seed": 0,
+      "quick": true,
+      "experiments": {
+        "fig11": {"wall_s": 0.41, "events": {"events_popped": ..., ...}},
+        ...
+      },
+      "total_wall_s": ...
+    }
+"""
+
+import json
+import pathlib
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.sim import global_event_totals, idle_skip_default, reset_global_stats
+
+
+def _next_bench_path(directory: pathlib.Path) -> pathlib.Path:
+    n = 0
+    while (directory / f"BENCH_{n}.json").exists():
+        n += 1
+    return directory / f"BENCH_{n}.json"
+
+
+def run(names=None, seed: int = 0, quick: bool = True,
+        outdir: str = ".") -> pathlib.Path:
+    selected = dict(ALL_EXPERIMENTS)
+    if names:
+        unknown = [n for n in names if n not in selected]
+        if unknown:
+            known = ", ".join(sorted(ALL_EXPERIMENTS))
+            raise SystemExit(f"unknown experiment(s) {unknown}; known: {known}")
+        selected = {n: selected[n] for n in names}
+
+    report = {
+        "idle_skip": idle_skip_default(),
+        "seed": seed,
+        "quick": quick,
+        "experiments": {},
+    }
+    total = 0.0
+    for exp_id, runner in selected.items():
+        reset_global_stats()
+        t0 = time.perf_counter()
+        runner(seed=seed, quick=quick)
+        wall = time.perf_counter() - t0
+        total += wall
+        report["experiments"][exp_id] = {
+            "wall_s": round(wall, 6),
+            "events": global_event_totals(),
+        }
+        print(f"{exp_id}: {wall:.3f}s "
+              f"({global_event_totals()['events_popped']} events)")
+    report["total_wall_s"] = round(total, 6)
+
+    path = _next_bench_path(pathlib.Path(outdir))
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {path} ({len(report['experiments'])} experiments, "
+          f"{total:.3f}s total)")
+    return path
+
+
+if __name__ == "__main__":
+    run(sys.argv[1:] or None)

@@ -42,8 +42,8 @@ class Nic:
 
     def send(self, nbytes: int):
         """Process: serialize ``nbytes`` onto the wire."""
-        req = self._port.request()
-        yield req
+        if not self._port.try_acquire():
+            yield self._port.request()
         try:
             yield self.sim.timeout(self.serialization_time(nbytes))
         finally:
@@ -81,8 +81,10 @@ class Fabric:
         yield from src_nic.send(nbytes)
         yield self.sim.timeout(self.spec.storage_cluster_rtt_s)
 
+    def from_storage_time(self, nbytes: int) -> float:
+        """Deterministic cost of the storage-to-server return hop."""
+        return self.spec.storage_cluster_rtt_s + nbytes * 8.0 / (self.spec.nic_gbps * 1e9)
+
     def from_storage(self, dst: str, nbytes: int):
         """Process: one-way trip from the storage cluster to ``dst``."""
-        yield self.sim.timeout(
-            self.spec.storage_cluster_rtt_s + nbytes * 8.0 / (self.spec.nic_gbps * 1e9)
-        )
+        yield self.sim.timeout(self.from_storage_time(nbytes))

@@ -73,8 +73,8 @@ class Ssd:
         if nbytes < 0:
             raise ValueError(f"negative I/O size: {nbytes}")
         start = self.sim.now
-        req = self._channels.request()
-        yield req
+        if not self._channels.try_acquire():
+            yield self._channels.request()
         try:
             yield self.sim.timeout(self._service_time(nbytes, is_read))
         finally:

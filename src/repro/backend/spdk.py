@@ -60,14 +60,18 @@ class SpdkStorage:
         if self.remote:
             yield from self.fabric.to_storage(self.server_name, request_bytes)
         yield from self.ssd.io(nbytes, is_read)
+        # Return trip: replica fanout (writes), the fabric hop back, and
+        # the completion reap are serial delays with no queueing between
+        # them — one kernel event covers all three.
+        return_delay = self.spec.complete_s
         if not is_read and self.spec.write_replicas > 1:
             # The storage frontend fans the write out and waits for a
             # quorum; replica media writes overlap, so the visible cost
             # is the fanout/ack coordination, not N serial writes.
             extra = self.spec.write_replicas - 1
-            yield self.sim.timeout(extra * self.spec.replica_fanout_s)
+            return_delay += extra * self.spec.replica_fanout_s
         if self.remote:
-            yield from self.fabric.from_storage(self.server_name, response_bytes)
-        yield self.sim.timeout(self.spec.complete_s)
+            return_delay += self.fabric.from_storage_time(response_bytes)
+        yield self.sim.timeout(return_delay)
         self.completed += 1
         return self.sim.now - start

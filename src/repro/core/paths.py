@@ -336,17 +336,25 @@ class BmBlkPath(_BlkPathBase):
         yield from self.limiters.admit_io(1, nbytes)
         start = self.sim.now
         submit_payload = nbytes if not is_read else 64
-        yield self.sim.timeout(self.kernel.blk_submit_time(nbytes))
-        yield self.sim.timeout(self._iobond_leg(submit_payload))
+        # Submission leg: guest submit + IO-Bond transfer + backend poll
+        # pickup are serial delays with no intervening queueing, so they
+        # ride a single kernel event.
         yield self.sim.timeout(
-            self.hv_spec.poll_interval_s / 2 + self.hv_spec.request_handling_s
+            self.kernel.blk_submit_time(nbytes)
+            + self._iobond_leg(submit_payload)
+            + self.hv_spec.poll_interval_s / 2
+            + self.hv_spec.request_handling_s
         )
         yield from self.storage.submit(_NO_LIMITS, nbytes, is_read)
         return_payload = nbytes if is_read else 16
-        yield self.sim.timeout(self._iobond_leg(return_payload))
-        yield self.sim.timeout(self.bond.msi.delivery_time)
-        yield self.sim.timeout(self.kernel.blk_complete_time())
-        yield self.sim.timeout(float(self._jitter.exponential(2e-6)))
+        # Completion leg: IO-Bond return DMA + MSI + guest completion +
+        # DMA-contention jitter, likewise one event.
+        yield self.sim.timeout(
+            self._iobond_leg(return_payload)
+            + self.bond.msi.delivery_time
+            + self.kernel.blk_complete_time()
+            + float(self._jitter.exponential(2e-6))
+        )
         self.completed += 1
         return BlkResult(self.sim.now - start, nbytes, is_read)
 
@@ -382,10 +390,11 @@ class VmBlkPath(_BlkPathBase):
         """Process: one block operation end-to-end; returns BlkResult."""
         yield from self.limiters.admit_io(1, nbytes)
         start = self.sim.now
-        yield self.sim.timeout(self.kernel.blk_submit_time(nbytes))
         # Host-side costs: backend poll pickup, CPU copies of the data
         # (in and out of the vhost process), guest exits charged to this
-        # I/O, and the completion interrupt injection.
+        # I/O, and the completion interrupt injection. The guest submit
+        # and the host-side work are serial delays, so they share one
+        # kernel event; same for the completion-side chain below.
         copy = nbytes / self.kernel.spec.copy_bytes_per_s
         host_cpu = (
             self.backend_poll_s / 2
@@ -393,12 +402,16 @@ class VmBlkPath(_BlkPathBase):
             + self.kvm.io_overhead_per_operation(self.exits_per_io)
         )
         preempt = self.scheduler.preemption_during(host_cpu + 20e-6)
-        yield self.sim.timeout(host_cpu + self._host_queue_delay())
+        yield self.sim.timeout(
+            self.kernel.blk_submit_time(nbytes) + host_cpu + self._host_queue_delay()
+        )
         yield from self.storage.submit(_NO_LIMITS, nbytes, is_read)
-        yield self.sim.timeout(copy)
-        yield self.sim.timeout(self.kvm.interrupt_injection_time())
-        yield self.sim.timeout(self.kernel.blk_complete_time())
-        yield self.sim.timeout(preempt)
+        yield self.sim.timeout(
+            copy
+            + self.kvm.interrupt_injection_time()
+            + self.kernel.blk_complete_time()
+            + preempt
+        )
         self.completed += 1
         return BlkResult(self.sim.now - start, nbytes, is_read)
 

@@ -28,6 +28,7 @@ from repro.hw.board import Chassis, ChassisSpec, ComputeBoard
 from repro.hypervisor.bm import BmHypervisor
 from repro.hypervisor.kvm import HostScheduler, KvmModel
 from repro.iobond.bond import IoBond, IoBondSpec
+from repro.sim.doorbell import Doorbell
 from repro.virtio.blk import SECTOR_BYTES, VIRTIO_BLK_S_OK, BlkRequestHeader, VirtioBlkDevice
 from repro.virtio.device import full_init
 from repro.virtio.net import VirtioNetDevice
@@ -155,6 +156,11 @@ class BmHiveServer:
         hypervisor.mark_booting()
         hypervisor.start()
 
+        # The firmware's used-ring poll (10 µs cadence) parks on its own
+        # doorbell; IO-Bond writing back completions rings it.
+        used_bell = Doorbell(self.sim, 10e-6)
+        blk.vq.on_used = used_bell.ring
+
         def io_roundtrip(sector, n_sectors):
             head = blk.driver_read(sector, n_sectors * SECTOR_BYTES)
             chain = blk.vq.resolve_chain(head)
@@ -164,11 +170,17 @@ class BmHiveServer:
                 used = blk.vq.get_used()
                 if used is not None:
                     break
-                yield self.sim.timeout(10e-6)
+                if used_bell.enabled:
+                    yield used_bell.park()
+                else:
+                    self.sim.stats.idle_poll_events += 1
+                    yield self.sim.timeout(10e-6)
             addr, length = chain.writable[0]
             return blk.memory.read(addr, length)
 
         record = yield from guest.firmware.boot(blk, image, io_roundtrip)
+        used_bell.cancel()
+        blk.vq.on_used = None
         hypervisor.mark_running()
         guest.image = image
         return record

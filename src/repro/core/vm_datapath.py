@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from repro.backend.vhost import VhostUserBackend, VhostUserFrontend
 from repro.guest.image import VmImage
+from repro.sim.doorbell import Doorbell
 from repro.virtio.blk import (
     SECTOR_BYTES,
     VIRTIO_BLK_S_OK,
@@ -62,17 +63,24 @@ class VmBlkService:
         self.vhost_frontend.connect()
         self.requests_served = 0
         self.bytes_returned = 0
+        # Idle-skip doorbell: the guest ringing the avail ring wakes a
+        # parked backend instead of the backend spinning to notice it.
+        self.doorbell = Doorbell(sim, poll_interval_s)
         self._running = None
 
     def start(self) -> None:
         if self._running is not None:
             raise RuntimeError("service already started")
+        self.device.vq.on_avail = self.doorbell.ring
         self._running = self.sim.spawn(self._poll_loop(), name="vhost-blk")
 
     def stop(self) -> None:
         if self._running is not None and self._running.is_alive:
             self._running.interrupt("shutdown")
         self._running = None
+        self.doorbell.cancel()
+        if self.device.vq.on_avail == self.doorbell.ring:
+            self.device.vq.on_avail = None
 
     def _poll_loop(self):
         from repro.sim.events import Interrupt
@@ -99,7 +107,11 @@ class VmBlkService:
                         self.device.device_complete(chain, b"", VIRTIO_BLK_S_OK)
                     self.requests_served += 1
                 if not busy:
-                    yield self.sim.timeout(self.poll_interval_s)
+                    if self.doorbell.enabled:
+                        yield self.doorbell.park()
+                    else:
+                        self.sim.stats.idle_poll_events += 1
+                        yield self.sim.timeout(self.poll_interval_s)
         except Interrupt:
             return
 
@@ -116,6 +128,10 @@ def vm_boot_via_rings(sim, guest, image: VmImage):
     service.start()
     device = service.device
     firmware = EfiFirmware(sim)
+    # The firmware's used-ring poll (10 µs cadence) parks on its own
+    # doorbell; the backend pushing a used element rings it.
+    used_bell = Doorbell(sim, 10e-6)
+    device.vq.on_used = used_bell.ring
 
     def io_roundtrip(sector, n_sectors):
         head = device.driver_read(sector, n_sectors * SECTOR_BYTES)
@@ -126,12 +142,18 @@ def vm_boot_via_rings(sim, guest, image: VmImage):
             used = device.vq.get_used()
             if used is not None:
                 break
-            yield sim.timeout(10e-6)
+            if used_bell.enabled:
+                yield used_bell.park()
+            else:
+                sim.stats.idle_poll_events += 1
+                yield sim.timeout(10e-6)
         addr, length = chain.writable[0]
         return device.memory.read(addr, length)
 
     record = yield from firmware.boot(device, image, io_roundtrip)
     service.stop()
+    used_bell.cancel()
+    device.vq.on_used = None
     stats = BootStats(
         requests_served=service.requests_served,
         bytes_returned=service.bytes_returned,

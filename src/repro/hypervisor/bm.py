@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.iobond.bond import IoBond, IoBondPort
+from repro.sim.doorbell import Doorbell
 from repro.sim.events import Interrupt
 
 __all__ = ["BmHypervisorSpec", "BmHypervisor", "GuestState"]
@@ -58,6 +59,13 @@ class BmHypervisor:
         self.state = GuestState.UNASSIGNED
         # (port, queue_index) -> handler(entry) -> generator | None
         self._handlers: Dict[Tuple[str, int], Callable] = {}
+        # Snapshot of _handlers.items(), rebuilt lazily: the poll loop
+        # iterates this every spin, so it must not re-materialize the
+        # dict view each time. Invalidated by register_handler.
+        self._handler_items: Optional[list] = None
+        # Idle-skip doorbell: producers (mailbox posts, shadow-vring
+        # publishes) ring it so the idle loop never has to spin.
+        self.doorbell = Doorbell(sim, spec.poll_interval_s)
         self._poll_process = None
         self.entries_handled = 0
         self.pci_requests_handled = 0
@@ -95,11 +103,32 @@ class BmHypervisor:
         drives inline (e.g. forwarding a burst into the vSwitch).
         """
         self._handlers[(port_name, queue_index)] = handler
+        self._handler_items = None  # invalidate the poll loop's snapshot
+        # Wire the doorbell into this queue's shadow vring — including
+        # shadows that do not exist yet (IO-Bond creates them lazily on
+        # the first guest kick).
+        port = self.bond.port(port_name)
+        ring = self.doorbell.ring
+        shadow = port.shadows.get(queue_index)
+        if shadow is not None:
+            shadow.on_publish = ring
+            if shadow.registers.pending > 0:
+                ring()
+
+        previous = port.on_shadow_created
+
+        def wire(new_shadow, _previous=previous):
+            if _previous is not None:
+                _previous(new_shadow)
+            new_shadow.on_publish = ring
+
+        port.on_shadow_created = wire
 
     def start(self) -> None:
         """Spawn the dedicated polling thread."""
         if self._poll_process is not None:
             raise RuntimeError("poll loop already started")
+        self.bond.mailbox.on_post = self.doorbell.ring
         self._poll_process = self.sim.spawn(
             self.poll_loop(), name=f"bmhv.{self.guest_name}"
         )
@@ -120,7 +149,10 @@ class BmHypervisor:
                 yield self.sim.timeout(self.spec.pci_emulation_s)
                 self.pci_requests_handled += 1
                 busy = True
-            for (port_name, queue_index), handler in list(self._handlers.items()):
+            items = self._handler_items
+            if items is None:
+                items = self._handler_items = list(self._handlers.items())
+            for (port_name, queue_index), handler in items:
                 port = self.bond.port(port_name)
                 if queue_index not in port.shadows:
                     continue
@@ -136,9 +168,18 @@ class BmHypervisor:
                     self.entries_handled += 1
                     busy = True
             if not busy:
-                yield self.sim.timeout(self.spec.poll_interval_s)
+                # A clean drain pass consumes no simulated time, so the
+                # park anchors on a time the busy-poll grid would reach.
+                if self.doorbell.enabled:
+                    yield self.doorbell.park()
+                else:
+                    self.sim.stats.idle_poll_events += 1
+                    yield self.sim.timeout(self.spec.poll_interval_s)
 
     def stop(self) -> None:
         if self._poll_process is not None and self._poll_process.is_alive:
             self._poll_process.interrupt("shutdown")
         self._poll_process = None
+        self.doorbell.cancel()
+        if self.bond.mailbox.on_post == self.doorbell.ring:
+            self.bond.mailbox.on_post = None

@@ -86,6 +86,9 @@ class IoBondPort:
         )
         self.shadows: Dict[int, ShadowVring] = {}
         self.on_interrupt: Optional[Callable[[], None]] = None
+        # Called with each newly-created ShadowVring so the backend can
+        # wire its doorbell hook before any entry is published.
+        self.on_shadow_created: Optional[Callable[[ShadowVring], None]] = None
         self.interrupts_raised = 0
 
     def _on_guest_notify(self, queue_index: int) -> None:
@@ -99,9 +102,12 @@ class IoBondPort:
                 raise RuntimeError(
                     "guest driver has not initialized the device; no queues exist"
                 )
-            self.shadows[queue_index] = ShadowVring(
+            shadow = ShadowVring(
                 self.device.queue(queue_index), name=f"{self.name}.q{queue_index}"
             )
+            self.shadows[queue_index] = shadow
+            if self.on_shadow_created is not None:
+                self.on_shadow_created(shadow)
         return self.shadows[queue_index]
 
 

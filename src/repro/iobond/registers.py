@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Optional, Tuple
+from typing import Callable, Deque, Optional, Tuple
 
 __all__ = ["MailboxPair", "HeadTailRegisters"]
 
@@ -28,9 +28,14 @@ class MailboxPair:
 
     request: Deque[Tuple] = field(default_factory=deque)
     response: Deque[Tuple] = field(default_factory=deque)
+    # Doorbell hook: the bm-hypervisor wires this so a forwarded access
+    # wakes its parked poll loop (see repro.sim.doorbell).
+    on_post: Optional[Callable[[], None]] = None
 
     def post_request(self, access: Tuple) -> None:
         self.request.append(access)
+        if self.on_post is not None:
+            self.on_post()
 
     def poll_request(self) -> Optional[Tuple]:
         """Backend side: take one pending forwarded access, or None."""

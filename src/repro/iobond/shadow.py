@@ -52,6 +52,10 @@ class ShadowVring:
         self._staged_chains = _ChainMap()
         self.synced_to_shadow = 0
         self.synced_to_guest = 0
+        # Doorbell hook: fired when new entries become visible to the
+        # backend's poll (see repro.sim.doorbell). Wired by the
+        # bm-hypervisor when it registers a handler for this queue.
+        self.on_publish = None
 
     # -- guest -> shadow (IO-Bond sync after a guest kick) -------------------
     def stage_from_guest(self) -> Tuple[int, int]:
@@ -85,6 +89,8 @@ class ShadowVring:
     def publish_staged(self, count: int) -> None:
         """Advance the head register so the backend's poll sees entries."""
         self.registers.publish(count)
+        if count > 0 and self.on_publish is not None:
+            self.on_publish()
 
     # -- backend side ------------------------------------------------------------
     def backend_poll(self) -> Optional[ShadowEntry]:

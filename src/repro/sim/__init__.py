@@ -6,7 +6,8 @@ resources, token-bucket rate limiters, named random streams, and
 latency/throughput collectors.
 """
 
-from repro.sim.core import Simulator
+from repro.sim.core import EventStats, Simulator, global_event_totals, reset_global_stats
+from repro.sim.doorbell import Doorbell, idle_skip_default, set_idle_skip_default
 from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
 from repro.sim.process import Process
 from repro.sim.resources import Resource, Store, TokenBucket
@@ -24,6 +25,12 @@ from repro.sim.stats import (
 
 __all__ = [
     "Simulator",
+    "EventStats",
+    "Doorbell",
+    "idle_skip_default",
+    "set_idle_skip_default",
+    "global_event_totals",
+    "reset_global_stats",
     "Event",
     "Timeout",
     "AllOf",

@@ -22,19 +22,91 @@ Example
 >>> sim.run()
 >>> log[0]
 (1.0, 'a')
+
+Performance
+-----------
+The kernel has a *fast lane* for the dominant event shape — a single
+process waiting on a single event (``yield sim.timeout(dt)`` and
+friends). Such events carry their waiter in ``Event._waiter`` and
+:meth:`Simulator.step` resumes the process directly, skipping the
+callback-list allocation and dispatch of the generic path. Pass
+``fast_path=False`` to force every event through the generic path (the
+reference kernel used by the equivalence tests). :attr:`Simulator.stats`
+counts both lanes; see :class:`EventStats`.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Generator, Iterable, Optional
+from typing import Any, Generator, Iterable, List, Optional
 
-from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.events import PENDING, PROCESSED, AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
 from repro.sim.rng import RandomStreams
 
-__all__ = ["Simulator"]
+__all__ = ["Simulator", "EventStats", "global_event_totals", "reset_global_stats"]
+
+
+class EventStats:
+    """Kernel counters for one :class:`Simulator`.
+
+    * ``events_popped`` — total events dispatched by :meth:`Simulator.step`;
+    * ``fast_path_hits`` — pops dispatched through the single-waiter
+      fast lane (no callback list, direct process resume);
+    * ``idle_poll_events`` — no-op wakeups scheduled by busy-polling
+      service loops that found nothing to do (doorbell disabled);
+    * ``doorbell_parks`` — times a poll loop parked on a doorbell
+      instead of spinning;
+    * ``doorbell_rings`` — producer-side doorbell notifications;
+    * ``idle_polls_skipped`` — idle poll ticks the doorbell quantization
+      stepped over without scheduling an event.
+    """
+
+    __slots__ = (
+        "events_popped",
+        "fast_path_hits",
+        "idle_poll_events",
+        "doorbell_parks",
+        "doorbell_rings",
+        "idle_polls_skipped",
+    )
+
+    def __init__(self):
+        self.events_popped = 0
+        self.fast_path_hits = 0
+        self.idle_poll_events = 0
+        self.doorbell_parks = 0
+        self.doorbell_rings = 0
+        self.idle_polls_skipped = 0
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        body = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"EventStats({body})"
+
+
+# Every simulator registers its stats here so tooling (e.g.
+# scripts/export_bench.py) can report aggregate event counts for code
+# that creates simulators internally. Entries are tiny slotted counter
+# objects; they do not keep the simulators themselves alive.
+_ALL_STATS: List[EventStats] = []
+
+
+def global_event_totals() -> dict:
+    """Aggregate counters across every simulator created so far."""
+    totals = {name: 0 for name in EventStats.__slots__}
+    for stats in _ALL_STATS:
+        for name in EventStats.__slots__:
+            totals[name] += getattr(stats, name)
+    return totals
+
+
+def reset_global_stats() -> None:
+    """Drop the global stats registry (test/tooling isolation)."""
+    _ALL_STATS.clear()
 
 
 class Simulator:
@@ -46,14 +118,22 @@ class Simulator:
         Root seed for all random streams drawn via :attr:`streams`.
         Every simulation in this repository is deterministic given its
         seed, which the experiment harnesses rely on.
+    fast_path:
+        When False, disable the single-waiter fast lane and run every
+        event through the generic callback path. Observable behavior is
+        identical (the property tests assert so); the flag exists as
+        the reference baseline for those tests.
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0, fast_path: bool = True):
         self._now = 0.0
         self._heap: list = []
         self._counter = itertools.count()
         self.streams = RandomStreams(seed)
         self._active_process: Optional[Process] = None
+        self._fast_path = fast_path
+        self.stats = EventStats()
+        _ALL_STATS.append(self.stats)
 
     # -- clock ------------------------------------------------------------
     @property
@@ -94,15 +174,35 @@ class Simulator:
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         heapq.heappush(self._heap, (self._now + delay, next(self._counter), event))
 
+    def _schedule_at(self, when: float, event: Event) -> None:
+        """Schedule ``event`` at an absolute time (doorbell wakeups)."""
+        heapq.heappush(self._heap, (when, next(self._counter), event))
+
     # -- main loop ----------------------------------------------------------
     def step(self) -> None:
         """Process the next scheduled event."""
         when, _, event = heapq.heappop(self._heap)
         self._now = when
+        stats = self.stats
+        stats.events_popped += 1
+        waiter = event._waiter
+        if waiter is not None:
+            # Fast lane: a single process is waiting and nobody else
+            # subscribed; resume it directly. The guards mirror
+            # Process._resume minus the urgent-interrupt case —
+            # fast-lane events are never interrupt carriers (interrupts
+            # always go through add_callback).
+            event._waiter = None
+            event._state = PROCESSED
+            stats.fast_path_hits += 1
+            if waiter._state is PENDING and event is waiter._target:
+                waiter._advance(event)
+            return
         callbacks, event.callbacks = event.callbacks, None
-        event._mark_processed()
-        for callback in callbacks:
-            callback(event)
+        event._state = PROCESSED
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the heap drains or the clock reaches ``until``.
@@ -112,11 +212,12 @@ class Simulator:
         """
         if until is not None and until < self._now:
             raise ValueError(f"until={until} is in the past (now={self._now})")
-        while self._heap:
-            when = self._heap[0][0]
-            if until is not None and when > until:
+        heap = self._heap
+        step = self.step
+        while heap:
+            if until is not None and heap[0][0] > until:
                 break
-            self.step()
+            step()
         if until is not None:
             self._now = max(self._now, until)
 
@@ -127,18 +228,33 @@ class Simulator:
         until the process completes (daemon processes like poll loops
         may still have events queued), raises if the process fails, and
         raises ``RuntimeError`` if the simulation drains (or hits
-        ``timeout``) before the process finishes.
+        ``timeout``) before the process finishes. When the deadline is
+        hit, the clock is advanced exactly to ``timeout``, mirroring
+        :meth:`run`.
         """
         proc = self.spawn(generator)
-        while self._heap and not proc.triggered:
-            if timeout is not None and self._heap[0][0] > timeout:
-                break
-            self.step()
-        if not proc.triggered:
-            raise RuntimeError("simulation ended before the process completed")
-        if not proc.ok:
-            raise proc.value
-        return proc.value
+        heap = self._heap
+        step = self.step
+        hit_deadline = False
+        if timeout is None:
+            while heap and proc._state is PENDING:
+                step()
+        else:
+            while heap and proc._state is PENDING:
+                if heap[0][0] > timeout:
+                    hit_deadline = True
+                    break
+                step()
+        if proc._state is PENDING:
+            if hit_deadline:
+                self._now = max(self._now, timeout)
+                raise RuntimeError(
+                    f"simulation hit timeout={timeout} before the process completed"
+                )
+            raise RuntimeError("simulation drained before the process completed")
+        if not proc._ok:
+            raise proc._value
+        return proc._value
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""

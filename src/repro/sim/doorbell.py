@@ -1,0 +1,139 @@
+"""Doorbell idle-skip for poll-mode (PMD) service loops.
+
+Every PMD loop in this reproduction — the bm-hypervisor's dedicated
+polling thread, the vhost-blk service, the firmware's used-ring poll —
+models real hardware that spins even when idle. Simulating each idle
+spin as a heap event is what made the DES kernel the bottleneck: a
+loop with a 1 µs cadence injects a million no-op events per simulated
+second per loop.
+
+A :class:`Doorbell` removes those events without changing any
+observable timing. When a loop finds nothing to do it *parks* on the
+doorbell instead of scheduling its next spin; a producer (mailbox
+post, shadow-vring publish, vring kick/used push) *rings* it, and the
+wakeup is scheduled at the exact simulated time the busy-poll loop
+would next have observed the work.
+
+Quantization
+------------
+A busy-poll loop that goes idle at time ``t0`` wakes at ``t0+i``,
+``((t0+i)+i)``, ... where ``i`` is its poll interval — the grid is a
+chain of float additions, so the doorbell replays the same additions
+(never ``t0 + k*i``, which rounds differently) to land bit-identically
+on the tick the busy-poll model would have used. Work posted at time
+``w`` is picked up at the first grid tick strictly after ``w``: at an
+exact tie the polling thread is assumed to have checked just before
+the producer posted, the conservative reading of that race (and, for
+chains of short producer timeouts, the one the event heap's FIFO
+tie-break produces).
+
+The module-level default lets the equivalence gate flip every loop at
+once: ``set_idle_skip_default(False)`` restores busy polling, and the
+``REPRO_IDLE_SKIP=0`` environment variable does the same for whole
+processes (scripts/export_bench.py uses it for A/B runs).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.sim.events import PENDING, TRIGGERED, Event
+
+__all__ = ["Doorbell", "idle_skip_default", "set_idle_skip_default"]
+
+_IDLE_SKIP_DEFAULT = os.environ.get("REPRO_IDLE_SKIP", "1").lower() not in (
+    "0",
+    "false",
+    "off",
+)
+
+
+def idle_skip_default() -> bool:
+    """Process-wide default for doorbell idle-skip (see module docs)."""
+    return _IDLE_SKIP_DEFAULT
+
+
+def set_idle_skip_default(enabled: bool) -> bool:
+    """Set the process-wide idle-skip default; returns the old value."""
+    global _IDLE_SKIP_DEFAULT
+    old, _IDLE_SKIP_DEFAULT = _IDLE_SKIP_DEFAULT, bool(enabled)
+    return old
+
+
+class Doorbell:
+    """Park/ring wakeup for one poll loop, with poll-grid quantization.
+
+    Usage inside the loop process::
+
+        while True:
+            busy = drain_everything()
+            if not busy:
+                if doorbell.enabled:
+                    yield doorbell.park()
+                else:
+                    sim.stats.idle_poll_events += 1
+                    yield sim.timeout(poll_interval_s)
+
+    Producers call :meth:`ring` whenever they make work visible to the
+    loop. Rings while the loop is busy (or already woken) are no-ops:
+    the loop's drain pass is level-triggered, so the work is picked up
+    regardless.
+    """
+
+    __slots__ = ("sim", "interval", "enabled", "_parked", "_anchor")
+
+    def __init__(self, sim, poll_interval_s: float,
+                 enabled: Optional[bool] = None):
+        if poll_interval_s <= 0:
+            raise ValueError(f"poll interval must be positive: {poll_interval_s}")
+        self.sim = sim
+        self.interval = poll_interval_s
+        self.enabled = _IDLE_SKIP_DEFAULT if enabled is None else bool(enabled)
+        self._parked: Optional[Event] = None
+        self._anchor = 0.0
+
+    @property
+    def is_parked(self) -> bool:
+        return self._parked is not None
+
+    def park(self) -> Event:
+        """Event that fires at the quantized wake tick after a ring.
+
+        Must be called by the loop process itself, immediately after a
+        drain pass that found nothing (so no work can slip between the
+        check and the park).
+        """
+        event = Event(self.sim)
+        self._parked = event
+        self._anchor = self.sim._now
+        self.sim.stats.doorbell_parks += 1
+        return event
+
+    def ring(self) -> None:
+        """Producer-side notification: schedule the parked loop's wakeup."""
+        sim = self.sim
+        sim.stats.doorbell_rings += 1
+        event = self._parked
+        if event is None or event._state is not PENDING:
+            return
+        self._parked = None
+        # Replay the busy-poll grid: t0+i, (t0+i)+i, ... until the first
+        # tick strictly after now. Repeated addition, not multiplication,
+        # so the wake time is bit-identical to the skipped spins.
+        interval = self.interval
+        now = sim._now
+        tick = self._anchor + interval
+        skipped = 0
+        while tick <= now:
+            tick += interval
+            skipped += 1
+        sim.stats.idle_polls_skipped += skipped
+        event._ok = True
+        event._value = None
+        event._state = TRIGGERED
+        sim._schedule_at(tick, event)
+
+    def cancel(self) -> None:
+        """Forget the parked event (loop shutdown); pending rings no-op."""
+        self._parked = None

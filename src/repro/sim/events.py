@@ -12,10 +12,20 @@ An :class:`Event` has three observable states:
 
 Composite events (:class:`AllOf`, :class:`AnyOf`) allow a process to
 wait for conjunctions or disjunctions of other events.
+
+Hot-path notes
+--------------
+Events are the single most-allocated object in any run, so the class
+is slotted and the callback list is lazy: ``callbacks`` stays ``None``
+until someone subscribes. The dominant subscriber — a process doing
+``yield sim.timeout(dt)`` — never materializes the list at all: the
+kernel stores the process in ``_waiter`` and the simulator dispatches
+it directly when the event pops (see ``Simulator.step``).
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import Any, Callable, List, Optional
 
 __all__ = [
@@ -54,21 +64,24 @@ class Event:
     kernel (see :class:`Timeout`).
     """
 
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_state", "_waiter", "_urgent")
+
     def __init__(self, sim: "Simulator"):  # noqa: F821 - circular hint
         self.sim = sim
-        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = None
         self._value: Any = None
         self._ok = True
         self._state = PENDING
+        self._waiter = None
 
     # -- state ----------------------------------------------------------
     @property
     def triggered(self) -> bool:
-        return self._state != PENDING
+        return self._state is not PENDING
 
     @property
     def processed(self) -> bool:
-        return self._state == PROCESSED
+        return self._state is PROCESSED
 
     @property
     def ok(self) -> bool:
@@ -77,19 +90,20 @@ class Event:
 
     @property
     def value(self) -> Any:
-        if self._state == PENDING:
+        if self._state is PENDING:
             raise RuntimeError("event value is not yet available")
         return self._value
 
     # -- triggering -----------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self._state != PENDING:
+        if self._state is not PENDING:
             raise RuntimeError(f"event {self!r} already triggered")
         self._ok = True
         self._value = value
         self._state = TRIGGERED
-        self.sim._schedule(self)
+        sim = self.sim
+        heapq.heappush(sim._heap, (sim._now, next(sim._counter), self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -97,14 +111,15 @@ class Event:
 
         The exception is re-raised inside every waiting process.
         """
-        if self._state != PENDING:
+        if self._state is not PENDING:
             raise RuntimeError(f"event {self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
         self._ok = False
         self._value = exception
         self._state = TRIGGERED
-        self.sim._schedule(self)
+        sim = self.sim
+        heapq.heappush(sim._heap, (sim._now, next(sim._counter), self))
         return self
 
     # -- kernel hooks ----------------------------------------------------
@@ -113,11 +128,20 @@ class Event:
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
         """Register ``callback`` to run when this event is processed."""
-        if self.callbacks is None:
+        if self._state is PROCESSED:
             # Already processed: run in-line, preserving ordering for
             # late subscribers (mirrors SimPy semantics closely enough
             # for our models).
             callback(self)
+            return
+        waiter = self._waiter
+        if waiter is not None:
+            # A process claimed the fast lane first; demote it to the
+            # generic callback list, preserving subscription order.
+            self._waiter = None
+            self.callbacks = [waiter._resume, callback]
+        elif self.callbacks is None:
+            self.callbacks = [callback]
         else:
             self.callbacks.append(callback)
 
@@ -128,19 +152,27 @@ class Event:
 class Timeout(Event):
     """An event that fires after a fixed simulated delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):  # noqa: F821
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
-        self.delay = delay
-        self._ok = True
+        # Inlined Event.__init__ plus immediate scheduling: this runs
+        # millions of times per experiment.
+        self.sim = sim
+        self.callbacks = None
         self._value = value
+        self._ok = True
         self._state = TRIGGERED
-        sim._schedule(self, delay=delay)
+        self._waiter = None
+        self.delay = delay
+        heapq.heappush(sim._heap, (sim._now + delay, next(sim._counter), self))
 
 
 class _Condition(Event):
     """Base class for composite events."""
+
+    __slots__ = ("events", "_remaining")
 
     def __init__(self, sim, events):  # noqa: F821
         super().__init__(sim)
@@ -163,6 +195,8 @@ class AllOf(_Condition):
     child fails, the condition fails with the first failure.
     """
 
+    __slots__ = ()
+
     def _on_child(self, event: Event) -> None:
         if self.triggered:
             return
@@ -176,6 +210,8 @@ class AllOf(_Condition):
 
 class AnyOf(_Condition):
     """Fires when the first child event fires; value is that child's value."""
+
+    __slots__ = ()
 
     def _on_child(self, event: Event) -> None:
         if self.triggered:

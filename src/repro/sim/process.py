@@ -7,13 +7,27 @@ event's exception raised at the yield point).
 
 A process is itself an event — it fires with the generator's return
 value — so processes can wait on each other by yielding a process.
+
+Hot-path notes
+--------------
+When a process waits on a pristine event (no other subscriber), it
+claims the event's ``_waiter`` slot instead of appending a bound
+method to a callback list; ``Simulator.step`` then checks the resume
+guards inline and dispatches the pop straight into :meth:`_advance`.
+The generic :meth:`_resume` path remains for shared events,
+conditions, and interrupts, and is the only path used when the
+simulator is built with ``fast_path=False`` (the reference kernel the
+equivalence tests compare against). A process nobody has joined
+finishes without scheduling a completion event at all — it goes
+straight to PROCESSED, and late joiners resume inline.
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import Any, Generator, Optional
 
-from repro.sim.events import Event, Interrupt
+from repro.sim.events import PENDING, PROCESSED, TRIGGERED, Event, Interrupt
 
 __all__ = ["Process"]
 
@@ -24,6 +38,8 @@ class Process(Event):
     Do not instantiate directly; use :meth:`repro.sim.Simulator.spawn`.
     """
 
+    __slots__ = ("_generator", "name", "_target")
+
     def __init__(self, sim, generator: Generator, name: str = ""):
         super().__init__(sim)
         if not hasattr(generator, "send"):
@@ -33,11 +49,17 @@ class Process(Event):
             )
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
-        self._target: Optional[Event] = None
-        # Bootstrap: resume on the next kernel step.
+        # Bootstrap: resume on the next kernel step. The start event
+        # rides the fast lane; no callback list is ever allocated.
         start = Event(sim)
-        start.add_callback(self._resume)
-        start.succeed()
+        start._state = TRIGGERED
+        if sim._fast_path:
+            start._waiter = self
+            self._target: Optional[Event] = start
+        else:
+            self._target = None
+            start.add_callback(self._resume)
+        heapq.heappush(sim._heap, (sim._now, next(sim._counter), start))
 
     @property
     def is_alive(self) -> bool:
@@ -66,34 +88,54 @@ class Process(Event):
 
     # -- kernel resume path ---------------------------------------------------
     def _resume(self, event: Event) -> None:
-        if self.triggered:
+        if self._state is not PENDING:
             # Races are possible when an interrupt lands after the target
             # fired in the same step; the process is already done.
             return
+        target = self._target
         if (
-            self._target is not None
-            and event is not self._target
+            target is not None
+            and event is not target
             and not getattr(event, "_urgent", False)
         ):
             # Stale wake-up: the process was interrupted away from this
             # target and is now waiting on something else.
             return
-        self.sim._active_process = self
+        self._advance(event)
+
+    def _advance(self, event: Event) -> None:
+        """Resume the generator; guards live in the callers.
+
+        ``Simulator.step`` dispatches here directly for fast-lane pops
+        (after checking the state/target guards inline); :meth:`_resume`
+        is the generic-callback entry point.
+        """
+        sim = self.sim
+        sim._active_process = self
         try:
-            if event.ok:
-                next_target = self._generator.send(event.value)
+            if event._ok:
+                next_target = self._generator.send(event._value)
             else:
-                next_target = self._generator.throw(event.value)
+                next_target = self._generator.throw(event._value)
         except StopIteration as stop:
             self._target = None
-            self.succeed(stop.value)
+            self._value = stop.value
+            self._ok = True
+            if self.callbacks is None and self._waiter is None:
+                # Nobody joined this process: finish without a
+                # completion event. Late joiners see PROCESSED and
+                # resume inline via add_callback.
+                self._state = PROCESSED
+            else:
+                self._state = TRIGGERED
+                heapq.heappush(sim._heap, (sim._now, next(sim._counter), self))
             return
         except BaseException as exc:  # propagate to joiners
             self._target = None
             self.fail(exc)
             return
         finally:
-            self.sim._active_process = None
+            sim._active_process = None
         if not isinstance(next_target, Event):
             error = TypeError(
                 f"process {self.name!r} yielded {next_target!r}; "
@@ -103,4 +145,13 @@ class Process(Event):
             self.fail(error)
             return
         self._target = next_target
-        next_target.add_callback(self._resume)
+        if (
+            self.sim._fast_path
+            and next_target._waiter is None
+            and next_target.callbacks is None
+            and next_target._state is not PROCESSED
+        ):
+            # Sole waiter on a pristine event: claim the fast lane.
+            next_target._waiter = self
+        else:
+            next_target.add_callback(self._resume)

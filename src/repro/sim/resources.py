@@ -60,6 +60,21 @@ class Resource:
             self._waiters.append(event)
         return event
 
+    def try_acquire(self) -> bool:
+        """Take a slot without queueing; returns False when all busy.
+
+        Hot-path variant of ``request()``: an uncontended acquire costs
+        no event at all, so callers can do
+        ``if not res.try_acquire(): yield res.request()`` and only hit
+        the heap when they actually have to wait. A free slot implies no
+        waiters (``release`` hands slots to waiters directly), so this
+        never jumps the FIFO queue.
+        """
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            return True
+        return False
+
     def release(self) -> None:
         """Return one slot; wakes the oldest waiter, if any."""
         if self.in_use <= 0:

@@ -16,7 +16,7 @@ IO-Bond's DMA engine keeps the two synchronized (Fig 4).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Tuple
+from typing import Callable, Iterable, List, Optional, Tuple
 
 from repro.virtio.memory import GuestMemory
 
@@ -109,6 +109,12 @@ class VirtQueue:
         # Counters for notification-suppression analysis.
         self.kicks_suppressed = 0
         self.interrupts_suppressed = 0
+        # Doorbell hooks for poll-mode consumers (see repro.sim.doorbell):
+        # ``on_avail`` fires when the driver exposes a new buffer (wakes
+        # a parked device-side poll loop); ``on_used`` fires when the
+        # device retires one (wakes a driver-side used-ring poll).
+        self.on_avail: Optional[Callable[[], None]] = None
+        self.on_used: Optional[Callable[[], None]] = None
 
     # ------------------------------------------------------------------
     # Driver side
@@ -178,6 +184,8 @@ class VirtQueue:
 
         self.avail_ring.append(head)
         self.avail_idx += 1
+        if self.on_avail is not None:
+            self.on_avail()
         return head
 
     def needs_kick(self) -> bool:
@@ -276,6 +284,8 @@ class VirtQueue:
         """Device: return a chain to the driver with ``written`` bytes."""
         self.used_ring.append((head, written))
         self.used_idx += 1
+        if self.on_used is not None:
+            self.on_used()
 
     def needs_interrupt(self) -> bool:
         """Should the device interrupt the driver after pushing used?"""

@@ -105,8 +105,8 @@ def udp_pps_test(sim, sender_guest, receiver_guest, duration_s: float = 0.1,
     end = start + duration_s
 
     def _stage(resource, base_time, noise):
-        req = resource.request()
-        yield req
+        if not resource.try_acquire():
+            yield resource.request()
         try:
             factor = float(noise.lognormal(mean=0.0, sigma=noise_sigma))
             yield sim.timeout(base_time * factor)
@@ -146,8 +146,8 @@ def udp_pps_test(sim, sender_guest, receiver_guest, duration_s: float = 0.1,
         # Stagger flow start-up, as independent netperf processes do.
         yield sim.timeout(float(tx_noise.uniform(0.0, 100e-6)))
         while sim.now < end:
-            slot = window.request()
-            yield slot
+            if not window.try_acquire():
+                yield window.request()
             yield from _stage(sender_pool, stages["sender"], tx_noise)
             sim.spawn(burst_pipeline())
 
@@ -240,8 +240,8 @@ def tcp_throughput_test(sim, guest, duration_s: float = 0.05,
 
     def connection():
         while sim.now < end:
-            req = threads.request()
-            yield req
+            if not threads.try_acquire():
+                yield threads.request()
             try:
                 yield from guest.limiters.admit_packets(batch, batch * segment_bytes)
                 yield sim.timeout(stages["sender"] / min(connections, guest.hyperthreads))
