@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.guest.kernel import GuestKernel
+from repro.guest.kernel import GuestKernel, KernelSpec
 from repro.hw.cpu import CpuSpec, cpu_spec
 from repro.hw.memory import MemorySpec, MemorySubsystem
 from repro.hw.numa import dual_socket, single_socket
@@ -34,7 +34,7 @@ class Guest:
     kind = "abstract"
 
     def __init__(self, sim, cpu_model: str, memory_gib: int, name: str,
-                 sockets: int = 1):
+                 sockets: int = 1, kernel_spec: Optional[KernelSpec] = None):
         self.sim = sim
         self.name = name
         self.cpu_spec: CpuSpec = cpu_spec(cpu_model)
@@ -47,7 +47,7 @@ class Guest:
                 speed_mts=self.cpu_spec.memory_speed_mts,
             ),
         )
-        self.kernel = GuestKernel(self.cpu_spec)
+        self.kernel = GuestKernel(self.cpu_spec, spec=kernel_spec or KernelSpec())
         self.net_path = None
         self.blk_path = None
 
@@ -131,8 +131,10 @@ class BmGuest(Guest):
 
     def __init__(self, sim, cpu_model: str = "Xeon E5-2682 v4",
                  memory_gib: int = 64, name: str = "bm-guest",
-                 board=None, bond=None, hypervisor=None):
-        super().__init__(sim, cpu_model, memory_gib, name, sockets=1)
+                 board=None, bond=None, hypervisor=None,
+                 kernel_spec: Optional[KernelSpec] = None):
+        super().__init__(sim, cpu_model, memory_gib, name, sockets=1,
+                         kernel_spec=kernel_spec)
         self.topology = single_socket(self.cpu_spec.cores, memory_gib)
         self.board = board
         self.bond = bond
@@ -151,8 +153,10 @@ class VmGuest(Guest):
                  memory_gib: int = 64, name: str = "vm-guest",
                  kvm: Optional[KvmModel] = None,
                  scheduler: Optional[HostScheduler] = None,
-                 pinned: bool = True, nested: bool = False):
-        super().__init__(sim, cpu_model, memory_gib, name, sockets=1)
+                 pinned: bool = True, nested: bool = False,
+                 kernel_spec: Optional[KernelSpec] = None):
+        super().__init__(sim, cpu_model, memory_gib, name, sockets=1,
+                         kernel_spec=kernel_spec)
         self.kvm = kvm or KvmModel()
         self.scheduler = scheduler or HostScheduler(sim, pinned=pinned,
                                                     stream=f"host.{name}")

@@ -18,8 +18,8 @@ from typing import Dict, List, Optional
 from repro.backend.dpdk import DpdkVSwitch
 from repro.backend.fabric import Fabric
 from repro.backend.limits import GuestLimiters, RateLimits
-from repro.backend.media import CLOUD_SSD, LOCAL_NVME
 from repro.backend.spdk import SpdkStorage
+from repro.config.profile import HardwareProfile
 from repro.core.guests import BmGuest, VmGuest
 from repro.core.paths import BmBlkPath, BmNetPath, VmBlkPath, VmNetPath
 from repro.guest.firmware import EfiFirmware
@@ -48,20 +48,25 @@ class BmHiveServer:
     """One BM-Hive chassis: base + boards + per-guest bm-hypervisors."""
 
     def __init__(self, sim, fabric: Optional[Fabric] = None, name: str = "bmhive-0",
-                 chassis_spec: ChassisSpec = ChassisSpec(),
+                 chassis_spec: Optional[ChassisSpec] = None,
                  iobond_spec: Optional[IoBondSpec] = None,
-                 local_storage: bool = False):
+                 local_storage: bool = False,
+                 profile: Optional[HardwareProfile] = None):
         self.sim = sim
         self.name = name
-        self.fabric = fabric or Fabric(sim)
+        self.profile = profile or HardwareProfile.paper()
+        backend = self.profile.backend
+        self.fabric = fabric or Fabric(sim, backend.fabric)
         self.nic = self.fabric.attach(name)
-        self.chassis = Chassis(sim, chassis_spec)
-        self.vswitch = DpdkVSwitch(sim, name=f"{name}.vswitch")
-        media = LOCAL_NVME if local_storage else CLOUD_SSD
+        self.chassis = Chassis(sim, chassis_spec or self.profile.chassis)
+        self.vswitch = DpdkVSwitch(sim, backend.dpdk, name=f"{name}.vswitch",
+                                   poll_mode=backend.poll_mode)
+        media = backend.local_media if local_storage else backend.cloud_media
         self.storage = SpdkStorage(
-            sim, self.fabric, name, media=media, remote=not local_storage
+            sim, self.fabric, name, spec=backend.spdk, media=media,
+            remote=not local_storage,
         )
-        self.iobond_spec = iobond_spec or IoBondSpec.fpga()
+        self.iobond_spec = iobond_spec or self.profile.iobond
         self.guests: List[BmGuest] = []
         self.hypervisors: Dict[str, BmHypervisor] = {}
         self._guest_ids = itertools.count()
@@ -71,7 +76,8 @@ class BmHiveServer:
         """Number of co-resident bm-guests."""
         return len(self.guests)
 
-    def launch_guest(self, cpu_model: str = "Xeon E5-2682 v4", memory_gib: int = 64,
+    def launch_guest(self, cpu_model: Optional[str] = None,
+                     memory_gib: Optional[int] = None,
                      limits: Optional[RateLimits] = None,
                      name: Optional[str] = None,
                      image: Optional[VmImage] = None) -> BmGuest:
@@ -80,24 +86,31 @@ class BmHiveServer:
         The board is admitted against the chassis slot/power budgets,
         mirroring the 16-guest cap of the deployed system.
         """
+        guest_spec = self.profile.guest
+        cpu_model = cpu_model or guest_spec.cpu_model
+        memory_gib = memory_gib if memory_gib is not None else guest_spec.memory_gib
         name = name or f"{self.name}.bm{next(self._guest_ids)}"
         limits = limits or RateLimits.standard()
-        board = ComputeBoard(self.sim, cpu_model, memory_gib)
+        board = ComputeBoard(self.sim, cpu_model, memory_gib,
+                             pcie_spec=self.profile.board_pcie)
         self.chassis.admit(board)
 
         bond = IoBond(self.sim, self.iobond_spec, name=f"{name}.iobond")
-        net_device = VirtioNetDevice(mac=_unique_mac(name))
-        blk_device = VirtioBlkDevice()
+        net_device = VirtioNetDevice(mac=_unique_mac(name),
+                                     queue_size=guest_spec.virtio_queue_size)
+        blk_device = VirtioBlkDevice(queue_size=guest_spec.virtio_queue_size)
         net_port = bond.add_port("net", net_device)
         blk_port = bond.add_port("blk", blk_device)
 
-        hypervisor = BmHypervisor(self.sim, bond, guest_name=name)
+        hypervisor = BmHypervisor(self.sim, bond, guest_name=name,
+                                  spec=self.profile.bm_hypervisor)
         hypervisor.power_on(board)
         self.hypervisors[name] = hypervisor
 
         guest = BmGuest(
             self.sim, cpu_model, memory_gib, name=name,
             board=board, bond=bond, hypervisor=hypervisor,
+            kernel_spec=guest_spec.kernel,
         )
         guest.net_device = net_device
         guest.blk_device = blk_device
@@ -110,11 +123,11 @@ class BmHiveServer:
         self.vswitch.add_port(port_name, limiters, mac=net_device.mac)
         guest.net_path = BmNetPath(
             self.sim, guest.kernel, self.vswitch, limiters, port_name,
-            bond=bond, port=net_port,
+            bond=bond, port=net_port, hv_spec=self.profile.bm_hypervisor,
         )
         guest.blk_path = BmBlkPath(
             self.sim, guest.kernel, self.storage, limiters,
-            bond=bond, port=blk_port,
+            bond=bond, port=blk_port, hv_spec=self.profile.bm_hypervisor,
         )
         self.guests.append(guest)
         return guest
@@ -158,7 +171,8 @@ class BmHiveServer:
 
         # The firmware's used-ring poll (10 µs cadence) parks on its own
         # doorbell; IO-Bond writing back completions rings it.
-        used_bell = Doorbell(self.sim, 10e-6)
+        fw_poll_s = self.profile.poll.firmware_used_poll_s
+        used_bell = Doorbell(self.sim, fw_poll_s)
         blk.vq.on_used = used_bell.ring
 
         def io_roundtrip(sector, n_sectors):
@@ -174,7 +188,7 @@ class BmHiveServer:
                     yield used_bell.park()
                 else:
                     self.sim.stats.idle_poll_events += 1
-                    yield self.sim.timeout(10e-6)
+                    yield self.sim.timeout(fw_poll_s)
             addr, length = chain.writable[0]
             return blk.memory.read(addr, length)
 
@@ -190,33 +204,43 @@ class VirtServer:
     """The baseline KVM host: dual-socket, shared by vm-guests."""
 
     def __init__(self, sim, fabric: Optional[Fabric] = None, name: str = "kvm-0",
-                 cpu_model: str = "Xeon E5-2682 v4",
-                 local_storage: bool = False):
+                 cpu_model: Optional[str] = None,
+                 local_storage: bool = False,
+                 profile: Optional[HardwareProfile] = None):
         self.sim = sim
         self.name = name
-        self.fabric = fabric or Fabric(sim)
+        self.profile = profile or HardwareProfile.paper()
+        backend = self.profile.backend
+        self.fabric = fabric or Fabric(sim, backend.fabric)
         self.nic = self.fabric.attach(name)
-        self.cpu_model = cpu_model
-        self.vswitch = DpdkVSwitch(sim, name=f"{name}.vswitch")
-        media = LOCAL_NVME if local_storage else CLOUD_SSD
+        self.cpu_model = cpu_model or self.profile.guest.cpu_model
+        self.vswitch = DpdkVSwitch(sim, backend.dpdk, name=f"{name}.vswitch",
+                                   poll_mode=backend.poll_mode)
+        media = backend.local_media if local_storage else backend.cloud_media
         self.storage = SpdkStorage(
-            sim, self.fabric, name, media=media, remote=not local_storage
+            sim, self.fabric, name, spec=backend.spdk, media=media,
+            remote=not local_storage,
         )
-        self.kvm = KvmModel()
+        self.kvm = KvmModel(self.profile.guest.kvm)
         self.guests: List[VmGuest] = []
         self._guest_ids = itertools.count()
 
-    def launch_guest(self, cpu_model: Optional[str] = None, memory_gib: int = 64,
+    def launch_guest(self, cpu_model: Optional[str] = None,
+                     memory_gib: Optional[int] = None,
                      limits: Optional[RateLimits] = None,
                      name: Optional[str] = None, pinned: bool = True,
                      image: Optional[VmImage] = None) -> VmGuest:
         """Create a vm-guest with the shared-memory virtio datapaths."""
+        guest_spec = self.profile.guest
+        memory_gib = memory_gib if memory_gib is not None else guest_spec.memory_gib
         name = name or f"{self.name}.vm{next(self._guest_ids)}"
         limits = limits or RateLimits.standard()
-        scheduler = HostScheduler(self.sim, pinned=pinned, stream=f"host.{name}")
+        scheduler = HostScheduler(self.sim, spec=guest_spec.host_scheduler,
+                                  pinned=pinned, stream=f"host.{name}")
         guest = VmGuest(
             self.sim, cpu_model or self.cpu_model, memory_gib, name=name,
             kvm=self.kvm, scheduler=scheduler, pinned=pinned,
+            kernel_spec=guest_spec.kernel,
         )
         guest.image = image
         limiters = GuestLimiters(self.sim, limits)
@@ -227,10 +251,12 @@ class VirtServer:
         guest.net_path = VmNetPath(
             self.sim, guest.kernel, self.vswitch, limiters, port_name,
             kvm=self.kvm, scheduler=scheduler,
+            backend_poll_s=self.profile.poll.vm_net_backend_poll_s,
         )
         guest.blk_path = VmBlkPath(
             self.sim, guest.kernel, self.storage, limiters,
             kvm=self.kvm, scheduler=scheduler,
+            backend_poll_s=self.profile.poll.vm_blk_backend_poll_s,
         )
         self.guests.append(guest)
         return guest

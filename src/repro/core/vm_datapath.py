@@ -12,8 +12,10 @@ descriptor chains.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.backend.vhost import VhostUserBackend, VhostUserFrontend
+from repro.config.profile import HardwareProfile
 from repro.guest.image import VmImage
 from repro.sim.doorbell import Doorbell
 from repro.virtio.blk import (
@@ -47,14 +49,25 @@ class VmBlkService:
     """
 
     def __init__(self, sim, guest, image: VmImage,
-                 service_latency_s: float = 150e-6,
-                 poll_interval_s: float = 2e-6):
+                 service_latency_s: Optional[float] = None,
+                 poll_interval_s: Optional[float] = None,
+                 profile: Optional[HardwareProfile] = None):
         self.sim = sim
         self.guest = guest
         self.image = image
-        self.service_latency_s = service_latency_s
-        self.poll_interval_s = poll_interval_s
-        self.device = VirtioBlkDevice()
+        self.profile = profile or HardwareProfile.paper()
+        poll = self.profile.poll
+        self.service_latency_s = (
+            service_latency_s if service_latency_s is not None
+            else poll.vhost_blk_service_s
+        )
+        self.poll_interval_s = (
+            poll_interval_s if poll_interval_s is not None
+            else poll.vhost_blk_poll_s
+        )
+        self.device = VirtioBlkDevice(
+            queue_size=self.profile.guest.virtio_queue_size
+        )
         full_init(self.device)
         guest.blk_device = self.device
         # The vhost-user control plane that hands the ring over.
@@ -65,7 +78,7 @@ class VmBlkService:
         self.bytes_returned = 0
         # Idle-skip doorbell: the guest ringing the avail ring wakes a
         # parked backend instead of the backend spinning to notice it.
-        self.doorbell = Doorbell(sim, poll_interval_s)
+        self.doorbell = Doorbell(sim, self.poll_interval_s)
         self._running = None
 
     def start(self) -> None:
@@ -116,7 +129,8 @@ class VmBlkService:
             return
 
 
-def vm_boot_via_rings(sim, guest, image: VmImage):
+def vm_boot_via_rings(sim, guest, image: VmImage,
+                      profile: Optional[HardwareProfile] = None):
     """Process: boot a vm-guest through real shared-memory rings.
 
     Returns ``(BootRecord, BootStats)``. The same firmware logic used
@@ -124,13 +138,15 @@ def vm_boot_via_rings(sim, guest, image: VmImage):
     """
     from repro.guest.firmware import EfiFirmware
 
-    service = VmBlkService(sim, guest, image)
+    profile = profile or HardwareProfile.paper()
+    service = VmBlkService(sim, guest, image, profile=profile)
     service.start()
     device = service.device
     firmware = EfiFirmware(sim)
     # The firmware's used-ring poll (10 µs cadence) parks on its own
     # doorbell; the backend pushing a used element rings it.
-    used_bell = Doorbell(sim, 10e-6)
+    fw_poll_s = profile.poll.firmware_used_poll_s
+    used_bell = Doorbell(sim, fw_poll_s)
     device.vq.on_used = used_bell.ring
 
     def io_roundtrip(sector, n_sectors):
@@ -146,7 +162,7 @@ def vm_boot_via_rings(sim, guest, image: VmImage):
                 yield used_bell.park()
             else:
                 sim.stats.idle_poll_events += 1
-                yield sim.timeout(10e-6)
+                yield sim.timeout(fw_poll_s)
         addr, length = chain.writable[0]
         return device.memory.read(addr, length)
 

@@ -30,7 +30,7 @@ from repro.experiments import (
     table3,
 )
 from repro.experiments.base import Check, ExperimentResult, check, check_between
-from repro.experiments.common import Testbed, make_testbed
+from repro.experiments.common import Testbed, TestbedBuilder, make_testbed
 
 ALL_EXPERIMENTS: Dict[str, Callable] = {
     module.EXPERIMENT_ID: module.run
@@ -56,5 +56,6 @@ __all__ = [
     "check",
     "check_between",
     "Testbed",
+    "TestbedBuilder",
     "make_testbed",
 ]

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from repro.backend.dpdk import DpdkSpec
 from repro.backend.tap import TapBackend
+from repro.config.profile import HardwareProfile
 from repro.experiments.base import ExperimentResult, check
 from repro.experiments.common import make_testbed
 from repro.hw.dma import DmaEngineSpec
@@ -28,11 +29,12 @@ EXPERIMENT_ID = "ablations"
 TITLE = "Design-choice ablations: ASIC, PMD, TAP, DMA, coalescing"
 
 
-def _blk_latency_with_spec(seed: int, spec: IoBondSpec, ops: int) -> float:
+def _blk_latency_with_profile(seed: int, profile: HardwareProfile,
+                              ops: int) -> float:
     from repro.core.server import BmHiveServer
 
     sim = Simulator(seed=seed)
-    hive = BmHiveServer(sim, iobond_spec=spec)
+    hive = BmHiveServer(sim, profile=profile)
     guest = hive.launch_guest()
     result = fio_run(sim, guest, pattern="randread", ops_per_thread=ops)
     return result.latency.mean
@@ -43,9 +45,9 @@ def run(seed: int = 0, quick: bool = True) -> ExperimentResult:
     rows = []
     checks = []
 
-    # 1. FPGA vs ASIC.
-    fpga_lat = _blk_latency_with_spec(seed, IoBondSpec.fpga(), ops)
-    asic_lat = _blk_latency_with_spec(seed, IoBondSpec.asic(), ops)
+    # 1. FPGA vs ASIC, each threaded end-to-end as a HardwareProfile.
+    fpga_lat = _blk_latency_with_profile(seed, HardwareProfile.paper(), ops)
+    asic_lat = _blk_latency_with_profile(seed, HardwareProfile.asic(), ops)
     rows.append({"ablation": "IO-Bond FPGA", "metric": "fio clat (us)",
                  "value": fpga_lat * 1e6})
     rows.append({"ablation": "IO-Bond ASIC", "metric": "fio clat (us)",

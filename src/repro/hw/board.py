@@ -46,6 +46,7 @@ class ComputeBoard:
     board_id: int = field(default_factory=lambda: next(_board_ids))
     power: PowerState = PowerState.OFF
     firmware_version: str = "1.0.0"
+    pcie_spec: Optional[PcieLinkSpec] = None  # board bus; x8 Gen3 default
 
     def __post_init__(self):
         self.cpu_spec: CpuSpec = cpu_spec(self.cpu_model)
@@ -57,7 +58,8 @@ class ComputeBoard:
         )
         self.memory = MemorySubsystem(self.sim, mem_spec)
         # The board's own PCIe bus, where IO-Bond's frontend lives.
-        self.pcie = PcieLink(self.sim, PcieLinkSpec(lanes=8), name=f"board{self.board_id}.pcie")
+        self.pcie = PcieLink(self.sim, self.pcie_spec or PcieLinkSpec(lanes=8),
+                             name=f"board{self.board_id}.pcie")
 
     @property
     def hyperthreads(self) -> int:

@@ -33,6 +33,9 @@ class MemorySpec:
     channels: int
     speed_mts: int  # mega-transfers/s, e.g. DDR4-2400 -> 2400
     bus_bytes: int = 8
+    # Demand one thread can sustain on this class of core; the STREAM
+    # model is per-thread-bound until the channel limit takes over.
+    per_thread_demand_bps: float = 12e9
 
     @property
     def peak_bandwidth(self) -> float:
@@ -68,7 +71,7 @@ class MemorySubsystem:
         # Per-thread issue limit: one thread sustains roughly 12 GB/s of
         # demand on this class of core; concurrency then hits the wall
         # of the populated channels.
-        per_thread_limit = 12e9 * threads
+        per_thread_limit = self.spec.per_thread_demand_bps * threads
         channel_limit = self.peak_bandwidth * props["efficiency"]
         return min(per_thread_limit, channel_limit)
 

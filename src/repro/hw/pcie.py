@@ -20,12 +20,15 @@ from dataclasses import dataclass, field
 
 from repro.sim.resources import Resource
 
-__all__ = ["PcieLinkSpec", "PcieLink", "GEN3_PER_LANE_GBPS"]
+__all__ = ["PcieLinkSpec", "PcieLink", "GEN3_PER_LANE_GBPS", "GEN4_PER_LANE_GBPS"]
 
 # Effective per-lane payload rate. PCIe Gen3 raw is 8 GT/s with
 # 128b/130b encoding; the paper quotes 32 Gb/s for an x4 port, i.e.
 # 8 Gb/s effective per lane, which we adopt.
 GEN3_PER_LANE_GBPS = 8.0
+# Gen4 doubles the transfer rate (16 GT/s), giving 16 Gb/s effective
+# per lane under the same accounting — the `gen4` hardware profile.
+GEN4_PER_LANE_GBPS = 16.0
 
 # Max payload per TLP and header overhead typical for these platforms.
 MAX_PAYLOAD_BYTES = 256

@@ -26,7 +26,7 @@ from typing import Callable, Dict, Optional
 
 from repro.hw.dma import DmaEngine, DmaEngineSpec
 from repro.hw.interrupts import InterruptSpec, MsiController
-from repro.hw.pcie import PcieLink, PcieLinkSpec
+from repro.hw.pcie import GEN3_PER_LANE_GBPS, PcieLink, PcieLinkSpec
 from repro.iobond.registers import MailboxPair
 from repro.iobond.shadow import ShadowVring
 from repro.virtio.device import VirtioDevice
@@ -46,6 +46,9 @@ class IoBondSpec:
     dma: DmaEngineSpec = field(default_factory=DmaEngineSpec)  # 50 Gb/s internal
     device_lanes: int = 4   # PCIe x4 per virtio device (32 Gb/s)
     base_lanes: int = 8     # PCIe x8 toward the bm-hypervisor
+    per_lane_gbps: float = GEN3_PER_LANE_GBPS  # Gen3; the gen4 profile doubles it
+    # MSI delivery toward the guest (Fig 6 Rx completion).
+    interrupts: InterruptSpec = field(default_factory=InterruptSpec)
     # Per-descriptor-chain processing in the FPGA fabric (ring walk,
     # used-flag update). Sized so an unrestricted guest can exceed
     # 16M PPS, as measured in Section 4.3.
@@ -70,6 +73,14 @@ class IoBondSpec:
         """Full emulated access: guest->IO-Bond + IO-Bond->mailbox."""
         return 2 * self.pci_hop_latency_s
 
+    def device_link_spec(self) -> PcieLinkSpec:
+        """The board-side x4 port one emulated virtio device gets."""
+        return PcieLinkSpec(lanes=self.device_lanes, per_lane_gbps=self.per_lane_gbps)
+
+    def base_link_spec(self) -> PcieLinkSpec:
+        """The x8 port toward the bm-hypervisor."""
+        return PcieLinkSpec(lanes=self.base_lanes, per_lane_gbps=self.per_lane_gbps)
+
 
 class IoBondPort:
     """One emulated virtio device on the board-side bus."""
@@ -81,7 +92,7 @@ class IoBondPort:
         self.pci = VirtioPciFunction(device, on_notify=self._on_guest_notify)
         self.board_link = PcieLink(
             bond.sim,
-            PcieLinkSpec(lanes=bond.spec.device_lanes),
+            bond.spec.device_link_spec(),
             name=f"{name}.board_x{bond.spec.device_lanes}",
         )
         self.shadows: Dict[int, ShadowVring] = {}
@@ -120,10 +131,10 @@ class IoBond:
         self.name = name
         self.dma = DmaEngine(sim, self.spec.dma, name=f"{name}.dma")
         self.base_link = PcieLink(
-            sim, PcieLinkSpec(lanes=self.spec.base_lanes), name=f"{name}.base_x{self.spec.base_lanes}"
+            sim, self.spec.base_link_spec(), name=f"{name}.base_x{self.spec.base_lanes}"
         )
         self.mailbox = MailboxPair()
-        self.msi = MsiController(sim, InterruptSpec())
+        self.msi = MsiController(sim, self.spec.interrupts)
         self.ports: Dict[str, IoBondPort] = {}
         self.pci_accesses = 0
 

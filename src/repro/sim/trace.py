@@ -105,6 +105,53 @@ class Tracer:
             totals[span.track] = totals.get(span.track, 0.0) + span.duration_s
         return totals
 
+    # -- export ------------------------------------------------------------------
+    def to_chrome_trace(self) -> Dict[str, object]:
+        """Chrome trace-event JSON (open in ``about:tracing`` or Perfetto).
+
+        Each track becomes a named thread under one process; spans become
+        complete ("X") events and point events become instants ("i").
+        Timestamps are microseconds, per the trace-event format.
+        """
+        tids: Dict[str, int] = {}
+        events: List[Dict[str, object]] = []
+
+        def tid_for(track: str) -> int:
+            if track not in tids:
+                tids[track] = len(tids) + 1
+                events.append({
+                    "name": "thread_name", "ph": "M", "pid": 1,
+                    "tid": tids[track], "args": {"name": track},
+                })
+            return tids[track]
+
+        records = sorted(
+            list(self.spans) + list(self.events),
+            key=lambda r: self._order[id(r)],
+        )
+        for record in records:
+            if isinstance(record, Span):
+                events.append({
+                    "name": record.name, "ph": "X", "pid": 1,
+                    "tid": tid_for(record.track),
+                    "ts": record.start_s * 1e6,
+                    "dur": record.duration_s * 1e6,
+                })
+            else:
+                events.append({
+                    "name": record.name, "ph": "i", "pid": 1,
+                    "tid": tid_for(record.track),
+                    "ts": record.at_s * 1e6, "s": "t",
+                })
+        return {"traceEvents": events, "displayTimeUnit": "ns"}
+
+    def write_chrome_trace(self, path) -> None:
+        """Serialise :meth:`to_chrome_trace` to a JSON file."""
+        import json
+
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome_trace(), fh, indent=1)
+
     # -- rendering ------------------------------------------------------------------
     def render(self, unit: float = 1e-6, unit_label: str = "us") -> str:
         """Chronological text timeline of every span and event."""

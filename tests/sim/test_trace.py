@@ -87,3 +87,61 @@ class TestBreakdownAndRender:
         text = tracer.render()
         assert text.index("kick") < text.index("sync") < text.index("msi")
         assert "us" in text
+
+
+class TestChromeTraceExport:
+    def test_spans_become_complete_events(self, traced):
+        sim, tracer = traced
+
+        def work(sim):
+            with tracer.span("iobond", "pci_hop"):
+                yield sim.timeout(0.8e-6)
+            tracer.mark("guest", "msi")
+
+        sim.run_process(work(sim))
+        trace = tracer.to_chrome_trace()
+        events = trace["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(complete) == 1 and len(instants) == 1
+        assert complete[0]["name"] == "pci_hop"
+        assert complete[0]["ts"] == pytest.approx(0.0)
+        assert complete[0]["dur"] == pytest.approx(0.8)  # microseconds
+        assert instants[0]["name"] == "msi"
+        assert instants[0]["ts"] == pytest.approx(0.8)
+
+    def test_tracks_become_named_threads(self, traced):
+        sim, tracer = traced
+        tracer.mark("guest", "a")
+        tracer.mark("iobond", "b")
+        tracer.mark("guest", "c")
+        trace = tracer.to_chrome_trace()
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        assert {m["args"]["name"] for m in meta} == {"guest", "iobond"}
+        by_track = {m["args"]["name"]: m["tid"] for m in meta}
+        instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+        assert [e["tid"] for e in instants] == [
+            by_track["guest"], by_track["iobond"], by_track["guest"]]
+
+    def test_write_chrome_trace_is_valid_json(self, traced, tmp_path):
+        import json
+
+        sim, tracer = traced
+        tracer.mark("guest", "kick")
+        path = tmp_path / "trace.json"
+        tracer.write_chrome_trace(path)
+        data = json.loads(path.read_text())
+        assert data["traceEvents"][-1]["name"] == "kick"
+
+    def test_experiment_emits_openable_trace(self, tmp_path):
+        import json
+
+        from repro.experiments import iobond_micro
+
+        path = tmp_path / "iobond.trace.json"
+        result = iobond_micro.run(seed=0, trace_path=str(path))
+        assert all(c.passed for c in result.checks)
+        data = json.loads(path.read_text())
+        names = [e["name"] for e in data["traceEvents"] if e["ph"] == "X"]
+        assert names.count("guest_pci_access") == 2
+        assert any(n.startswith("dma_copy") for n in names)
