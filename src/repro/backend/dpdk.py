@@ -14,6 +14,7 @@ from typing import Callable, Dict, Optional
 
 from repro.backend.limits import GuestLimiters
 from repro.backend.switching import ForwardingPlane
+from repro.sim.events import Event
 
 __all__ = ["DpdkSpec", "DpdkVSwitch", "VSwitchPort"]
 
@@ -69,6 +70,25 @@ class DpdkVSwitch:
         self.forwarding = ForwardingPlane(sim)
         self.forwarded_packets = 0
         self.dropped_packets = 0
+        self._disconnected: Optional[Event] = None
+        self.disconnects = 0
+
+    # -- session state (fault injection / vhost-user reconnect) --------
+    @property
+    def connected(self) -> bool:
+        return self._disconnected is None
+
+    def disconnect(self) -> None:
+        """Drop the vhost-user session: bursts queue until reconnect."""
+        if self._disconnected is None:
+            self._disconnected = Event(self.sim)
+            self.disconnects += 1
+
+    def reconnect(self) -> None:
+        """Restore the session; queued bursts proceed in FIFO order."""
+        if self._disconnected is not None:
+            gate, self._disconnected = self._disconnected, None
+            gate.succeed()
 
     def add_port(self, name: str, limiters: GuestLimiters,
                  deliver: Optional[Callable[[int, int], None]] = None,
@@ -103,6 +123,8 @@ class DpdkVSwitch:
         burst to the destination port. Returns the number delivered.
         """
         src = self.port(src_port)
+        while self._disconnected is not None:
+            yield self._disconnected
         yield from src.limiters.admit_packets(n_packets, nbytes)
         yield self.sim.timeout(self.spec.burst_time(n_packets, self.poll_mode))
         src.tx_packets += n_packets

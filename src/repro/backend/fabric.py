@@ -43,7 +43,14 @@ class Nic:
     def send(self, nbytes: int):
         """Process: serialize ``nbytes`` onto the wire."""
         if not self._port.try_acquire():
-            yield self._port.request()
+            req = self._port.request()
+            try:
+                yield req
+            except BaseException:
+                # A killed sender must not strand its queued request:
+                # the NIC is shared, so a leaked slot stalls every guest.
+                self._port.withdraw(req)
+                raise
         try:
             yield self.sim.timeout(self.serialization_time(nbytes))
         finally:

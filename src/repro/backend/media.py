@@ -74,7 +74,15 @@ class Ssd:
             raise ValueError(f"negative I/O size: {nbytes}")
         start = self.sim.now
         if not self._channels.try_acquire():
-            yield self._channels.request()
+            req = self._channels.request()
+            try:
+                yield req
+            except BaseException:
+                # Interrupted while queued (e.g. the owning hypervisor
+                # crashed): withdraw so the slot cannot be granted to a
+                # dead process and leak for every other tenant.
+                self._channels.withdraw(req)
+                raise
         try:
             yield self.sim.timeout(self._service_time(nbytes, is_read))
         finally:

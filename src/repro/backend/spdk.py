@@ -9,10 +9,12 @@ poll-mode path; there are no interrupts on the backend side.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.backend.fabric import Fabric
 from repro.backend.limits import GuestLimiters
 from repro.backend.media import CLOUD_SSD, Ssd, SsdSpec
+from repro.sim.events import Event
 
 __all__ = ["SpdkSpec", "SpdkStorage"]
 
@@ -44,6 +46,25 @@ class SpdkStorage:
         self.remote = remote
         self.ssd = Ssd(sim, media)
         self.completed = 0
+        self._disconnected: Optional[Event] = None
+        self.disconnects = 0
+
+    # -- session state (fault injection / vhost-user reconnect) --------
+    @property
+    def connected(self) -> bool:
+        return self._disconnected is None
+
+    def disconnect(self) -> None:
+        """Drop the storage session: new requests queue until reconnect."""
+        if self._disconnected is None:
+            self._disconnected = Event(self.sim)
+            self.disconnects += 1
+
+    def reconnect(self) -> None:
+        """Restore the session; queued requests proceed in FIFO order."""
+        if self._disconnected is not None:
+            gate, self._disconnected = self._disconnected, None
+            gate.succeed()
 
     def submit(self, limiters: GuestLimiters, nbytes: int, is_read: bool):
         """Process: one guest block request end-to-end in the backend.
@@ -53,6 +74,8 @@ class SpdkStorage:
         return trip. Returns the backend-side service latency.
         """
         start = self.sim.now
+        while self._disconnected is not None:
+            yield self._disconnected
         yield from limiters.admit_io(1, nbytes)
         yield self.sim.timeout(self.spec.submit_s)
         request_bytes = nbytes if not is_read else 128  # command only

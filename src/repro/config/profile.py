@@ -26,7 +26,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, get_type_hints
+from typing import Any, Dict, Optional, Union, get_args, get_origin, get_type_hints
 
 from repro.backend.dpdk import DpdkSpec
 from repro.backend.fabric import FabricSpec
@@ -39,6 +39,7 @@ from repro.hw.dma import DmaEngineSpec
 from repro.hw.interrupts import InterruptSpec
 from repro.hw.pcie import GEN4_PER_LANE_GBPS, PcieLinkSpec
 from repro.hypervisor.bm import BmHypervisorSpec
+from repro.faults.spec import FaultPlan
 from repro.hypervisor.kvm import HostSchedulerSpec, KvmSpec
 from repro.iobond.bond import IoBondSpec
 
@@ -106,6 +107,10 @@ class HardwareProfile:
     guest: GuestSpec = field(default_factory=GuestSpec)
     poll: PollSpec = field(default_factory=PollSpec)
     chassis: ChassisSpec = field(default_factory=ChassisSpec)
+    # Optional fault schedule (repro.faults). ``None`` — the default
+    # everywhere — means no fault machinery is even constructed, so
+    # fault-free profiles stay bit-identical to pre-faults builds.
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self):
         _validate(self, "profile")
@@ -164,9 +169,16 @@ def spec_to_dict(spec) -> Dict[str, Any]:
     """Recursively convert a spec dataclass to a plain JSON-able dict."""
     out: Dict[str, Any] = {}
     for f in dataclasses.fields(spec):
-        value = getattr(spec, f.name)
-        out[f.name] = spec_to_dict(value) if dataclasses.is_dataclass(value) else value
+        out[f.name] = _to_jsonable(getattr(spec, f.name))
     return out
+
+
+def _to_jsonable(value):
+    if dataclasses.is_dataclass(value):
+        return spec_to_dict(value)
+    if isinstance(value, (list, tuple)):
+        return [_to_jsonable(item) for item in value]
+    return value
 
 
 def spec_from_dict(cls, data: Dict[str, Any]):
@@ -180,12 +192,28 @@ def spec_from_dict(cls, data: Dict[str, Any]):
         raise ValueError(f"{cls.__name__}: unknown fields {sorted(unknown)}")
     kwargs = {}
     for name, value in data.items():
-        target = hints.get(name)
-        if dataclasses.is_dataclass(target):
-            kwargs[name] = spec_from_dict(target, value)
-        else:
-            kwargs[name] = value
+        kwargs[name] = _from_jsonable(hints.get(name), value)
     return cls(**kwargs)
+
+
+def _from_jsonable(target, value):
+    """Rebuild one field value, unwrapping Optional[...] and Tuple[...]."""
+    if dataclasses.is_dataclass(target):
+        return spec_from_dict(target, value)
+    origin = get_origin(target)
+    if origin is Union:  # Optional[X] is Union[X, None]
+        if value is None:
+            return None
+        inner = [a for a in get_args(target) if a is not type(None)]
+        if len(inner) == 1:
+            return _from_jsonable(inner[0], value)
+        return value
+    if origin in (tuple, list):
+        args = get_args(target)
+        if args and dataclasses.is_dataclass(args[0]):
+            items = [_from_jsonable(args[0], item) for item in value]
+            return tuple(items) if origin is tuple else items
+    return value
 
 
 # Numeric fields that must be strictly positive: rates/capacities where

@@ -21,6 +21,7 @@ from repro.experiments import (
     fig14,
     fig15,
     fig16,
+    fault_isolation,
     future_work,
     iobond_micro,
     nested,
@@ -38,6 +39,7 @@ ALL_EXPERIMENTS: Dict[str, Callable] = {
         table1, table2, table3,
         fig1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16,
         cost, nested, iobond_micro, security_exp, ablations, future_work,
+        fault_isolation,
     )
 }
 

@@ -1,0 +1,42 @@
+"""Deterministic fault injection, recovery, and availability accounting.
+
+The subsystem has four layers, all driven by the simulated clock and
+dedicated RNG streams (never wall time), so every fault scenario is a
+reproducible schedule:
+
+* :mod:`repro.faults.spec` — frozen :class:`FaultPlan` configuration;
+* :mod:`repro.faults.injector` — arms a plan against a live testbed;
+* :mod:`repro.faults.supervisor` — crash detection/restart and
+  backoff-based vhost-user reconnect;
+* :mod:`repro.faults.accounting` — per-guest availability, MTTR, MTBF
+  and Chrome-trace outage timelines;
+* :mod:`repro.faults.workload` — a ring-level guest workload whose
+  records are bit-comparable across faulted and fault-free runs.
+"""
+
+from repro.faults.accounting import AvailabilityAccounting, TargetAvailability
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import FAULT_KINDS, FaultPlan, FaultSpec
+from repro.faults.supervisor import (
+    BackoffSpec,
+    RestartRecord,
+    Supervisor,
+    SupervisorSpec,
+    reconnect_with_backoff,
+)
+from repro.faults.workload import RingBlkLoad
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjector",
+    "Supervisor",
+    "SupervisorSpec",
+    "BackoffSpec",
+    "RestartRecord",
+    "reconnect_with_backoff",
+    "AvailabilityAccounting",
+    "TargetAvailability",
+    "RingBlkLoad",
+]

@@ -1,0 +1,126 @@
+"""Per-guest availability accounting: downtime, MTTR, MTBF.
+
+Every fault and recovery transition flows through one
+:class:`AvailabilityAccounting` instance, which keeps per-target
+down-span lists and (optionally) mirrors them into a
+:class:`repro.sim.trace.Tracer` — so a crash/restart cycle shows up as
+an ``outage`` span on the victim's track in the Chrome-trace export,
+right next to the datapath spans it interrupted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["AvailabilityAccounting", "TargetAvailability"]
+
+
+@dataclass
+class TargetAvailability:
+    """Down-span bookkeeping for one target (usually a guest)."""
+
+    target: str
+    down_spans: List[Tuple[float, float]] = field(default_factory=list)
+    down_since: Optional[float] = None
+    faults: int = 0
+
+    def downtime(self, now: float) -> float:
+        total = sum(end - start for start, end in self.down_spans)
+        if self.down_since is not None:
+            total += now - self.down_since
+        return total
+
+    @property
+    def recoveries(self) -> int:
+        return len(self.down_spans)
+
+
+class AvailabilityAccounting:
+    """Counters + trace emission for fault/recovery events."""
+
+    def __init__(self, sim, tracer=None, track: str = "faults"):
+        self.sim = sim
+        self.tracer = tracer
+        self.track = track
+        self._targets: Dict[str, TargetAvailability] = {}
+
+    def _target(self, name: str) -> TargetAvailability:
+        if name not in self._targets:
+            self._targets[name] = TargetAvailability(target=name)
+        return self._targets[name]
+
+    @property
+    def targets(self) -> Tuple[str, ...]:
+        return tuple(self._targets)
+
+    # -- recording -----------------------------------------------------
+    def record_fault(self, kind: str, target: str) -> None:
+        """A fault was injected against ``target``."""
+        self._target(target).faults += 1
+        if self.tracer is not None:
+            self.tracer.mark(self.track, f"{kind}@{target}")
+
+    def record_down(self, target: str, cause: str = "fault") -> None:
+        entry = self._target(target)
+        if entry.down_since is not None:
+            return  # already down; keep the earliest edge
+        entry.down_since = self.sim.now
+        if self.tracer is not None:
+            # Span key is (target, "outage") so begin/end always pair
+            # up; the cause rides along as an instant marker.
+            self.tracer.begin(target, "outage")
+            self.tracer.mark(target, cause)
+
+    def record_up(self, target: str, cause: str = "fault") -> None:
+        entry = self._target(target)
+        if entry.down_since is None:
+            return
+        entry.down_spans.append((entry.down_since, self.sim.now))
+        entry.down_since = None
+        if self.tracer is not None:
+            self.tracer.end(target, "outage")
+
+    # -- queries -------------------------------------------------------
+    def downtime(self, target: str) -> float:
+        if target not in self._targets:
+            return 0.0
+        return self._targets[target].downtime(self.sim.now)
+
+    def availability(self, target: str, since_s: float = 0.0) -> float:
+        """Fraction of [since_s, now] the target was up (1.0 if no time passed)."""
+        window = self.sim.now - since_s
+        if window <= 0:
+            return 1.0
+        return 1.0 - min(window, self.downtime(target)) / window
+
+    def mttr(self, target: str) -> float:
+        """Mean time to repair over completed outages (0 if none)."""
+        if target not in self._targets:
+            return 0.0
+        spans = self._targets[target].down_spans
+        if not spans:
+            return 0.0
+        return sum(end - start for start, end in spans) / len(spans)
+
+    def mtbf(self, target: str, since_s: float = 0.0) -> float:
+        """Mean uptime between failures (``inf`` with < 1 failure)."""
+        if target not in self._targets:
+            return float("inf")
+        entry = self._targets[target]
+        failures = entry.recoveries + (1 if entry.down_since is not None else 0)
+        if failures == 0:
+            return float("inf")
+        uptime = (self.sim.now - since_s) - entry.downtime(self.sim.now)
+        return uptime / failures
+
+    def summary(self, target: str) -> Dict[str, float]:
+        entry = self._target(target)
+        return {
+            "faults": float(entry.faults),
+            "recoveries": float(entry.recoveries),
+            "downtime_s": self.downtime(target),
+            "availability": self.availability(target),
+            "mttr_s": self.mttr(target),
+            "mtbf_s": self.mtbf(target),
+        }

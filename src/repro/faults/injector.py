@@ -1,0 +1,101 @@
+"""Turns a :class:`~repro.faults.spec.FaultPlan` into scheduled faults.
+
+The injector is the only component that touches live machinery: it
+resolves each :class:`FaultSpec` against a :class:`~repro.core.server.
+BmHiveServer` testbed and spawns one process per fault that sleeps
+until the injection time and then pulls the matching lever — link
+flap, DMA stall, mailbox window, process crash, session drop, or
+token-bucket brownout. Arming an empty plan spawns nothing and is
+bit-identical to never constructing an injector.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.faults.spec import FaultPlan, FaultSpec
+from repro.faults.supervisor import BackoffSpec, reconnect_with_backoff
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Schedules every fault in a plan against one server testbed."""
+
+    def __init__(self, sim, plan: FaultPlan, accounting=None,
+                 reconnect_backoff: Optional[BackoffSpec] = None):
+        self.sim = sim
+        self.plan = plan
+        self.accounting = accounting
+        self.reconnect_backoff = reconnect_backoff or BackoffSpec()
+        self.injected: List[FaultSpec] = []
+        self._armed = False
+
+    def arm(self, server) -> int:
+        """Spawn one delivery process per planned fault; returns count."""
+        if self._armed:
+            raise RuntimeError("fault plan already armed")
+        self._armed = True
+        for spec in self.plan.schedule():
+            if spec.kind != "backend_disconnect":
+                self._guest(server, spec.target)  # fail fast on bad targets
+        for spec in self.plan.schedule():
+            self.sim.spawn(self._deliver(server, spec),
+                           name=f"fault.{spec.kind}@{spec.target}")
+        return len(self.plan)
+
+    # -- delivery ------------------------------------------------------
+    def _deliver(self, server, spec: FaultSpec):
+        if spec.at_s > self.sim.now:
+            yield self.sim.timeout(spec.at_s - self.sim.now)
+        self.injected.append(spec)
+        if self.accounting is not None:
+            self.accounting.record_fault(spec.kind, spec.target)
+        if spec.kind == "pcie_flap":
+            guest = self._guest(server, spec.target)
+            link = guest.bond.port(spec.port).board_link
+            yield from link.flap(spec.duration_s)
+        elif spec.kind == "dma_stall":
+            guest = self._guest(server, spec.target)
+            yield from guest.bond.dma.stall_for(spec.duration_s)
+        elif spec.kind == "mailbox_timeout":
+            guest = self._guest(server, spec.target)
+            guest.bond.inject_mailbox_fault(
+                self.sim.now + spec.duration_s, spec.param)
+        elif spec.kind == "hypervisor_crash":
+            # Restart is the Supervisor's job; the injector only kills.
+            self._guest(server, spec.target).hypervisor.crash()
+        elif spec.kind == "backend_disconnect":
+            backend = (server.storage if spec.target == "storage"
+                       else server.vswitch)
+            backend.disconnect()
+            yield from reconnect_with_backoff(
+                self.sim, backend, until_s=self.sim.now + spec.duration_s,
+                backoff=self.reconnect_backoff,
+                stream=f"faults.reconnect.{spec.target}",
+            )
+        elif spec.kind == "brownout":
+            guest = self._guest(server, spec.target)
+            yield from self._brownout(guest.limiters, spec)
+        else:  # unreachable: FaultSpec validates the kind
+            raise AssertionError(f"unhandled fault kind {spec.kind!r}")
+
+    @staticmethod
+    def _guest(server, name: str):
+        for guest in server.guests:
+            if guest.name == name:
+                return guest
+        known = ", ".join(g.name for g in server.guests)
+        raise KeyError(f"no guest {name!r} on {server.name}; guests: {known}")
+
+    def _brownout(self, limiters, spec: FaultSpec):
+        """Scale every live bucket by ``param`` for the fault window."""
+        buckets = [b for b in (limiters.pps, limiters.net_bytes,
+                               limiters.iops, limiters.storage_bytes)
+                   if b is not None]
+        saved = [bucket.rate for bucket in buckets]
+        for bucket in buckets:
+            bucket.set_rate(bucket.rate * spec.param)
+        yield self.sim.timeout(spec.duration_s)
+        for bucket, rate in zip(buckets, saved):
+            bucket.set_rate(rate)

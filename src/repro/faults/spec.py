@@ -1,0 +1,177 @@
+"""Fault plans: frozen, seedable schedules of infrastructure faults.
+
+A :class:`FaultPlan` is configuration, not mechanism: it names which
+fault hits which component at which simulated time, and nothing runs
+until a :class:`~repro.faults.injector.FaultInjector` arms it against
+a testbed. Plans are frozen dataclasses (hashable, JSON round-trip)
+so they can ride along in :class:`repro.config.HardwareProfile` and
+in experiment records.
+
+Determinism rules
+-----------------
+* A plan is data — two runs armed with the same seed and the same plan
+  replay the identical fault schedule, trace events, and final clock.
+* ``FaultPlan.none()`` schedules nothing and draws nothing: arming it
+  is bit-identical to not constructing an injector at all.
+* :meth:`FaultPlan.sample` draws from a dedicated named RNG stream
+  (``faults.plan``); named streams are independently seeded, so
+  sampling a plan never perturbs any other stream in the simulation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterable, Sequence, Tuple
+
+__all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan"]
+
+# The fault taxonomy, one kind per failable layer (DESIGN.md §7):
+#   pcie_flap          hw/pcie      link down + retrain delay
+#   dma_stall          iobond       DMA engine frozen for a window
+#   mailbox_timeout    iobond       forwarded PCI accesses miss their ack
+#   hypervisor_crash   hypervisor   the per-guest backend process dies
+#   backend_disconnect backend      vSwitch/SPDK vhost-user session drop
+#   brownout           backend      token-bucket rates scaled down
+FAULT_KINDS = (
+    "pcie_flap",
+    "dma_stall",
+    "mailbox_timeout",
+    "hypervisor_crash",
+    "backend_disconnect",
+    "brownout",
+)
+
+# backend_disconnect targets name a backend, not a guest.
+BACKEND_TARGETS = ("vswitch", "storage")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    ``target`` names the victim: a guest for guest-scoped kinds
+    (``pcie_flap`` flaps that guest's device link, ``hypervisor_crash``
+    kills its backend process), or ``"vswitch"``/``"storage"`` for
+    ``backend_disconnect``. ``param`` is the kind-specific knob:
+    mailbox retransmission penalty (seconds), brownout rate factor
+    (0 < f < 1), or the ``pcie_flap`` port name is carried in
+    ``port`` instead.
+    """
+
+    kind: str
+    target: str
+    at_s: float
+    duration_s: float = 0.0
+    param: float = 0.0
+    port: str = "blk"
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            known = ", ".join(FAULT_KINDS)
+            raise ValueError(f"unknown fault kind {self.kind!r}; kinds: {known}")
+        if not self.target:
+            raise ValueError("fault target must be non-empty")
+        if self.at_s < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.at_s}")
+        if self.duration_s < 0:
+            raise ValueError(f"fault duration must be >= 0, got {self.duration_s}")
+        if self.kind == "brownout" and not 0.0 < self.param <= 1.0:
+            raise ValueError(
+                f"brownout needs a rate factor in (0, 1], got {self.param}"
+            )
+        if self.kind == "mailbox_timeout" and self.param < 0:
+            raise ValueError(f"mailbox penalty must be >= 0, got {self.param}")
+        if self.kind == "backend_disconnect" and self.target not in BACKEND_TARGETS:
+            known = ", ".join(BACKEND_TARGETS)
+            raise ValueError(
+                f"backend_disconnect target must be one of {known}, "
+                f"got {self.target!r}"
+            )
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultSpec":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable schedule of faults, ordered by injection time."""
+
+    faults: Tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The empty plan: arming it is bit-identical to no faults."""
+        return cls()
+
+    @classmethod
+    def of(cls, *faults: FaultSpec) -> "FaultPlan":
+        return cls(faults=tuple(faults))
+
+    def schedule(self) -> Tuple[FaultSpec, ...]:
+        """Faults in injection order (stable for equal times)."""
+        return tuple(sorted(self.faults, key=lambda f: f.at_s))
+
+    def for_kind(self, kind: str) -> Tuple[FaultSpec, ...]:
+        return tuple(f for f in self.schedule() if f.kind == kind)
+
+    def for_target(self, target: str) -> Tuple[FaultSpec, ...]:
+        return tuple(f for f in self.schedule() if f.target == target)
+
+    @classmethod
+    def sample(cls, streams, horizon_s: float, targets: Sequence[str],
+               kinds: Iterable[str] = ("hypervisor_crash",),
+               mean_interval_s: float = 1.0, duration_s: float = 1e-3,
+               param: float = 0.0, port: str = "blk",
+               stream: str = "faults.plan") -> "FaultPlan":
+        """Draw a random plan from a dedicated seeded stream.
+
+        Per (target, kind) pair, arrival times are a Poisson process of
+        mean spacing ``mean_interval_s``, truncated at ``horizon_s``.
+        The draw order is fixed (targets outer, kinds inner, arrivals
+        in time order), so the same seed always yields the same plan.
+        """
+        if horizon_s <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon_s}")
+        rng = streams.get(stream)
+        faults = []
+        for target in targets:
+            for kind in kinds:
+                t = float(rng.exponential(mean_interval_s))
+                while t < horizon_s:
+                    faults.append(FaultSpec(
+                        kind=kind, target=target, at_s=t,
+                        duration_s=duration_s, param=param, port=port,
+                    ))
+                    t += float(rng.exponential(mean_interval_s))
+        return cls(faults=tuple(sorted(faults, key=lambda f: f.at_s)))
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {"faults": [f.to_dict() for f in self.faults]}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultPlan":
+        return cls(faults=tuple(
+            FaultSpec.from_dict(f) for f in data.get("faults", ())
+        ))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))

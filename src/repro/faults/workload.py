@@ -1,0 +1,162 @@
+"""Ring-level closed-loop block workload for fault experiments.
+
+Unlike the abstract :class:`~repro.core.paths.BmBlkPath` cost model,
+this workload drives the *real* Fig 6 machinery end to end — guest
+vring post, emulated queue-notify through IO-Bond, shadow-vring sync,
+bm-hypervisor poll service against SPDK storage, completion DMA — so a
+hypervisor crash actually strands descriptors and the recovery
+datapaths (guest retry timers, supervisor replay) are what brings them
+back. One request is outstanding at a time, issued on a fixed
+period/offset grid, so two staggered loads on co-tenant guests produce
+records that can be compared bit-for-bit across runs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.hypervisor.bm import GuestState
+from repro.sim.doorbell import Doorbell
+from repro.virtio.blk import SECTOR_BYTES, VIRTIO_BLK_S_OK
+from repro.virtio.device import full_init
+from repro.virtio.reliability import RetryExhausted, RetryPolicy
+
+__all__ = ["RingBlkLoad"]
+
+
+class RingBlkLoad:
+    """Closed-loop virtio-blk reads through the full ring datapath.
+
+    ``records`` is a list of ``(index, issued_at, completed_at,
+    attempts)`` tuples — exact floats, suitable for ``==`` comparison
+    between a faulted and a fault-free run (blast-radius checks).
+    """
+
+    def __init__(self, sim, guest, storage, n_requests: int = 64,
+                 period_s: float = 400e-6, offset_s: float = 0.0,
+                 read_bytes: int = 4096,
+                 policy: Optional[RetryPolicy] = None,
+                 poll_s: float = 10e-6):
+        if n_requests <= 0:
+            raise ValueError(f"need at least one request, got {n_requests}")
+        if period_s <= 0:
+            raise ValueError(f"period must be positive, got {period_s}")
+        self.sim = sim
+        self.guest = guest
+        self.storage = storage
+        self.n_requests = n_requests
+        self.period_s = period_s
+        self.offset_s = offset_s
+        self.read_bytes = read_bytes
+        self.policy = policy or RetryPolicy()
+        self.poll_s = poll_s
+        self.tracker = None
+        self.records: List[Tuple[int, float, float, int]] = []
+        self.retries = 0
+        self.duplicate_completions = 0
+        self.failures: List[int] = []
+        self.done = False
+
+    # -- backend wiring ------------------------------------------------
+    def install(self) -> None:
+        """Initialize the device and register the blk service handler.
+
+        The handler survives hypervisor restarts: crash recovery
+        captures it via ``handlers()`` and re-registers it on the
+        replacement process, exactly like live upgrade does.
+        """
+        blk = self.guest.blk_device
+        if not blk.queues:
+            full_init(blk)
+        hv = self.guest.hypervisor
+        hv.register_handler("blk", 0, self._handle_blk)
+        if hv.state is GuestState.POWERED_ON:
+            hv.mark_booting()
+        if not hv.is_polling:
+            hv.start()
+        if hv.state is GuestState.BOOTING:
+            hv.mark_running()
+
+    def _handle_blk(self, entry):
+        bond = self.guest.bond
+        port = bond.port("blk")
+        nbytes = max(0, entry.writable_bytes - 1)
+
+        def service():
+            yield from self.storage.submit(
+                self.guest.limiters, max(nbytes, SECTOR_BYTES), is_read=True
+            )
+            port.shadows[0].backend_complete(
+                entry.guest_head, bytes(nbytes) + bytes([VIRTIO_BLK_S_OK])
+            )
+            yield from bond.deliver_completions(port, 0)
+
+        return service()
+
+    # -- the guest-side loop -------------------------------------------
+    def run(self):
+        """Process: issue and complete every request, with retries."""
+        sim = self.sim
+        blk = self.guest.blk_device
+        self.tracker = blk.request_tracker(sim, self.policy)
+        bell = Doorbell(sim, self.poll_s)
+        blk.vq.on_used = bell.ring
+        try:
+            issue_at = self.offset_s
+            for index in range(self.n_requests):
+                if issue_at > sim.now:
+                    yield sim.timeout(issue_at - sim.now)
+                yield from self._one_request(index, bell)
+                issue_at += self.period_s
+        finally:
+            bell.cancel()
+            if blk.vq.on_used == bell.ring:
+                blk.vq.on_used = None
+        self.done = True
+        return tuple(self.records)
+
+    def _one_request(self, index: int, bell: Doorbell):
+        sim = self.sim
+        blk = self.guest.blk_device
+        bond = self.guest.bond
+        port = bond.port("blk")
+        n_sectors = self.read_bytes // SECTOR_BYTES
+        sector = (index * n_sectors) % (blk.capacity_sectors - n_sectors)
+        head = blk.driver_read(sector, self.read_bytes)
+        self.tracker.post(head)
+        issued = sim.now
+        yield from bond.guest_pci_access(port, "queue_notify", 0)
+        while True:
+            used = blk.vq.get_used()
+            if used is not None:
+                used_head, _ = used
+                if used_head != head:
+                    # A latent completion for an abandoned request; the
+                    # shadow vring already deduplicated live replays.
+                    self.duplicate_completions += 1
+                    continue
+                attempts = self.tracker.attempts(head)
+                self.tracker.complete(head)
+                self.records.append((index, issued, sim.now, attempts))
+                return
+            deadline = self.tracker.next_deadline()
+            if sim.now >= deadline:
+                try:
+                    self.tracker.recover(head)
+                except RetryExhausted:
+                    self.tracker.complete(head)
+                    self.failures.append(index)
+                    return
+                self.retries += 1
+                # Both recovery outcomes need a kick: a reposted chain
+                # is invisible until IO-Bond re-syncs the avail ring.
+                yield from bond.guest_pci_access(port, "queue_notify", 0)
+                continue
+            if bell.enabled:
+                wake = bell.park()
+                limit = bell.deadline(deadline)
+                yield sim.any_of([wake, limit])
+                bell.cancel()
+            else:
+                sim.stats.idle_poll_events += 1
+                yield sim.timeout(self.poll_s)

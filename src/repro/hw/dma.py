@@ -9,7 +9,9 @@ throughput cap and a fixed per-descriptor setup cost.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
+from repro.sim.events import Event
 from repro.sim.resources import Resource
 
 __all__ = ["DmaEngineSpec", "DmaEngine", "DmaTransferError"]
@@ -46,9 +48,36 @@ class DmaEngine:
         self.name = name
         self._channels = Resource(sim, capacity=spec.channels)
         self._rng = sim.streams.get(f"dma.{name}") if spec.error_rate else None
+        self._stalled: Optional[Event] = None
         self.bytes_copied = 0.0
         self.copies = 0
         self.transient_errors = 0
+        self.stalls = 0
+
+    # -- engine state (fault injection) --------------------------------
+    @property
+    def is_stalled(self) -> bool:
+        return self._stalled is not None
+
+    def stall(self) -> None:
+        """Freeze descriptor admission (firmware hang, queue full)."""
+        if self._stalled is None:
+            self._stalled = Event(self.sim)
+            self.stalls += 1
+
+    def resume(self) -> None:
+        """Unfreeze; every gated copy proceeds in FIFO order."""
+        if self._stalled is not None:
+            gate, self._stalled = self._stalled, None
+            gate.succeed()
+
+    def stall_for(self, duration_s: float):
+        """Process: stall the engine for ``duration_s``, then resume."""
+        if duration_s < 0:
+            raise ValueError(f"negative stall duration: {duration_s}")
+        self.stall()
+        yield self.sim.timeout(duration_s)
+        self.resume()
 
     def copy_time(self, nbytes: int) -> float:
         """Time to move ``nbytes``, excluding queueing for a channel."""
@@ -63,8 +92,14 @@ class DmaEngine:
         to ``spec.max_retries`` times — the transfer costs more time
         but the data still arrives exactly once.
         """
+        while self._stalled is not None:
+            yield self._stalled
         req = self._channels.request()
-        yield req
+        try:
+            yield req
+        except BaseException:
+            self._channels.withdraw(req)
+            raise
         try:
             attempts = 0
             while True:

@@ -17,7 +17,9 @@ from; electrical/protocol minutiae below it do not affect any figure.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
+from repro.sim.events import Event
 from repro.sim.resources import Resource
 
 __all__ = ["PcieLinkSpec", "PcieLink", "GEN3_PER_LANE_GBPS", "GEN4_PER_LANE_GBPS"]
@@ -67,8 +69,42 @@ class PcieLink:
         self.spec = spec
         self.name = name
         self._wire = Resource(sim, capacity=1)
+        self._down: Optional[Event] = None
         self.bytes_moved = 0.0
         self.transactions = 0
+        self.flaps = 0
+        self.retrain_time_s = 0.0
+
+    # -- link state (fault injection) ----------------------------------
+    @property
+    def is_down(self) -> bool:
+        return self._down is not None
+
+    def link_down(self) -> None:
+        """Drop the link: new TLPs queue until :meth:`link_up`.
+
+        TLPs already on the wire finish (the replay buffer recovers
+        them); only admission is gated, matching the observable effect
+        of a surprise link retrain.
+        """
+        if self._down is None:
+            self._down = Event(self.sim)
+            self.flaps += 1
+
+    def link_up(self) -> None:
+        """Restore the link; every gated TLP proceeds in FIFO order."""
+        if self._down is not None:
+            gate, self._down = self._down, None
+            gate.succeed()
+
+    def flap(self, retrain_s: float):
+        """Process: link goes down, retrains for ``retrain_s``, comes up."""
+        if retrain_s < 0:
+            raise ValueError(f"negative retrain delay: {retrain_s}")
+        self.link_down()
+        self.retrain_time_s += retrain_s
+        yield self.sim.timeout(retrain_s)
+        self.link_up()
 
     def serialization_time(self, nbytes: int) -> float:
         """Wire time for ``nbytes`` of payload including TLP headers."""
@@ -80,8 +116,14 @@ class PcieLink:
 
     def transfer(self, nbytes: int):
         """Process: posted write of ``nbytes`` across the link."""
+        while self._down is not None:
+            yield self._down
         req = self._wire.request()
-        yield req
+        try:
+            yield req
+        except BaseException:
+            self._wire.withdraw(req)
+            raise
         try:
             yield self.sim.timeout(self.serialization_time(nbytes) + self.spec.tlp_latency_s)
         finally:
@@ -91,8 +133,14 @@ class PcieLink:
 
     def read(self, nbytes: int):
         """Process: non-posted read — request TLP out, completion back."""
+        while self._down is not None:
+            yield self._down
         req = self._wire.request()
-        yield req
+        try:
+            yield req
+        except BaseException:
+            self._wire.withdraw(req)
+            raise
         try:
             # Request header out + completion with data back.
             total = self.serialization_time(nbytes) + 2 * self.spec.tlp_latency_s

@@ -67,8 +67,16 @@ class BmHypervisor:
         # publishes) ring it so the idle loop never has to spin.
         self.doorbell = Doorbell(sim, spec.poll_interval_s)
         self._poll_process = None
+        # Service generators the poll loop is currently driving; a
+        # crash kills these with the process (their work is lost and
+        # must be replayed), while a clean stop() lets them finish.
+        self._service_processes = set()
         self.entries_handled = 0
         self.pci_requests_handled = 0
+        self.crashed = False
+        # Fired with this hypervisor after a crash; the fault
+        # supervisor subscribes to drive detection/restart.
+        self.on_crash: Optional[Callable[["BmHypervisor"], None]] = None
 
     # -- life cycle -----------------------------------------------------------
     def power_on(self, board) -> None:
@@ -94,7 +102,22 @@ class BmHypervisor:
         board.power_off()
         self.state = GuestState.STOPPED
 
+    @property
+    def is_polling(self) -> bool:
+        """Whether the dedicated polling thread is alive."""
+        return self._poll_process is not None and self._poll_process.is_alive
+
     # -- data plane ---------------------------------------------------------------
+    def handlers(self) -> Dict[Tuple[str, int], Callable]:
+        """Installed virtqueue handlers, keyed ``(port_name, queue_index)``.
+
+        Returns a copy: handler installation must go through
+        :meth:`register_handler` so the doorbell wiring stays correct.
+        This is the supported way for state capture (live upgrade,
+        crash recovery) to enumerate the data plane.
+        """
+        return dict(self._handlers)
+
     def register_handler(self, port_name: str, queue_index: int,
                          handler: Callable) -> None:
         """Install the backend handler for one virtqueue.
@@ -164,7 +187,12 @@ class BmHypervisor:
                     yield self.sim.timeout(self.spec.request_handling_s)
                     result = handler(entry)
                     if result is not None and hasattr(result, "send"):
-                        yield self.sim.spawn(result)
+                        service = self.sim.spawn(result)
+                        self._service_processes.add(service)
+                        try:
+                            yield service
+                        finally:
+                            self._service_processes.discard(service)
                     self.entries_handled += 1
                     busy = True
             if not busy:
@@ -183,3 +211,29 @@ class BmHypervisor:
         self.doorbell.cancel()
         if self.bond.mailbox.on_post == self.doorbell.ring:
             self.bond.mailbox.on_post = None
+
+    def crash(self) -> None:
+        """Kill the process: poll thread AND in-flight service work die.
+
+        Unlike :meth:`stop` (a clean shutdown that lets spawned service
+        generators run to completion), a crash takes the whole address
+        space with it — every service process is interrupted mid-flight,
+        modelling requests the dead backend will never complete. The
+        shadow vring keeps those as consumed-but-uncompleted entries;
+        recovery replays them (``ShadowVring.replay_consumed``).
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        if self._poll_process is not None and self._poll_process.is_alive:
+            self._poll_process.interrupt("crash")
+        self._poll_process = None
+        for service in list(self._service_processes):
+            if service.is_alive:
+                service.interrupt("crash")
+        self._service_processes.clear()
+        self.doorbell.cancel()
+        if self.bond.mailbox.on_post == self.doorbell.ring:
+            self.bond.mailbox.on_post = None
+        if self.on_crash is not None:
+            self.on_crash(self)

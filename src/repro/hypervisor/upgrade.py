@@ -47,11 +47,29 @@ class HypervisorState:
             guest_name=hypervisor.guest_name,
             guest_state=hypervisor.state,
             ring_cursors=cursors,
-            handlers=dict(hypervisor._handlers),
+            handlers=hypervisor.handlers(),
         )
 
     def restore_into(self, hypervisor: BmHypervisor) -> None:
+        """Load captured state into a fresh hypervisor process.
+
+        Cursors are written back explicitly: when the replacement runs
+        against the same IO-Bond the writes are no-ops (the registers
+        live in the device), but a rebuilt bond — crash recovery with a
+        re-initialized board, board swap — starts from zeroed registers
+        and would otherwise silently lose the ring positions.
+        """
         hypervisor.state = self.guest_state
+        for key, cursor in self.ring_cursors.items():
+            port_name, _, queue_index = key.rpartition(".q")
+            shadow = hypervisor.bond.port(port_name).shadow(int(queue_index))
+            registers = shadow.registers
+            # Cursors are monotonic counters, so max() restores a zeroed
+            # (rebuilt) register file without rewinding a shared one that
+            # advanced while the new build was exec'ing — IO-Bond keeps
+            # publishing guest kicks during that window.
+            registers.head = max(registers.head, cursor["head"])
+            registers.tail = max(registers.tail, cursor["tail"])
         for key, handler in self.handlers.items():
             hypervisor.register_handler(key[0], key[1], handler)
 

@@ -137,6 +137,12 @@ class IoBond:
         self.msi = MsiController(sim, self.spec.interrupts)
         self.ports: Dict[str, IoBondPort] = {}
         self.pci_accesses = 0
+        # Mailbox fault window (fault injection): while the simulated
+        # clock is inside the window, every forwarded PCI access misses
+        # its mailbox ack and pays one retransmission penalty.
+        self._mailbox_fault_until = 0.0
+        self._mailbox_penalty_s = 0.0
+        self.mailbox_timeouts = 0
 
     # -- device plumbing ---------------------------------------------------
     def add_port(self, name: str, device: VirtioDevice) -> IoBondPort:
@@ -169,6 +175,9 @@ class IoBond:
         mailbox for the backend's bookkeeping.
         """
         yield self.sim.timeout(self.spec.pci_access_latency_s)
+        if self.sim.now < self._mailbox_fault_until:
+            self.mailbox_timeouts += 1
+            yield self.sim.timeout(self._mailbox_penalty_s)
         self.pci_accesses += 1
         self.mailbox.post_request((port.name, name, value))
         if value is None:
@@ -178,6 +187,18 @@ class IoBond:
             result = None
         self.mailbox.post_response((port.name, name, result))
         return result
+
+    def inject_mailbox_fault(self, until_s: float, penalty_s: float) -> None:
+        """Open a mailbox-timeout window ending at ``until_s``.
+
+        Accesses forwarded while the window is open pay ``penalty_s``
+        extra (ack timer expiry + retransmission) on top of the normal
+        2-hop latency. Purely clock-driven, so replays are exact.
+        """
+        if penalty_s < 0:
+            raise ValueError(f"negative mailbox penalty: {penalty_s}")
+        self._mailbox_fault_until = max(self._mailbox_fault_until, until_s)
+        self._mailbox_penalty_s = penalty_s
 
     # -- vring synchronization (guest -> shadow) --------------------------------
     def sync_to_shadow(self, port: IoBondPort, queue_index: int):

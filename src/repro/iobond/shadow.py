@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Optional, Tuple
+from typing import Deque, Dict, Optional, Tuple
 
 from repro.iobond.registers import HeadTailRegisters
 from repro.virtio.vring import DescriptorChain, VirtQueue
@@ -50,8 +50,16 @@ class ShadowVring:
         # them back into guest memory: (guest_head, device_payload).
         self._completions: Deque[Tuple[int, bytes]] = deque()
         self._staged_chains = _ChainMap()
+        # Entries handed to the backend (consume register advanced) but
+        # not yet completed. If the bm-hypervisor crashes mid-service,
+        # these are the descriptors that would be lost; the supervisor
+        # republishes them via :meth:`replay_consumed` — the hardware-
+        # side analogue of vhost-user inflight-descriptor recovery.
+        self._consumed: Dict[int, ShadowEntry] = {}
         self.synced_to_shadow = 0
         self.synced_to_guest = 0
+        self.replayed = 0
+        self.duplicates_dropped = 0
         # Doorbell hook: fired when new entries become visible to the
         # backend's poll (see repro.sim.doorbell). Wired by the
         # bm-hypervisor when it registers a handler for this queue.
@@ -98,11 +106,36 @@ class ShadowVring:
         if self.registers.pending <= 0 or not self._entries:
             return None
         self.registers.consume(1)
-        return self._entries.popleft()
+        entry = self._entries.popleft()
+        self._consumed[entry.guest_head] = entry
+        return entry
 
     def backend_complete(self, guest_head: int, payload: bytes = b"") -> None:
         """Backend: queue a completion for DMA back to the guest."""
+        self._consumed.pop(guest_head, None)
         self._completions.append((guest_head, payload))
+
+    @property
+    def inflight(self) -> int:
+        """Entries consumed by the backend but not yet completed."""
+        return len(self._consumed)
+
+    def replay_consumed(self) -> int:
+        """Republish entries whose service died with the bm-hypervisor.
+
+        Re-queues every consumed-but-uncompleted entry at the front of
+        the shadow ring (original order) and advances the head register
+        so the restarted hypervisor's poll sees them again. Returns the
+        number of entries replayed.
+        """
+        if not self._consumed:
+            return 0
+        entries = list(self._consumed.values())
+        self._consumed.clear()
+        self._entries.extendleft(reversed(entries))
+        self.replayed += len(entries)
+        self.publish_staged(len(entries))
+        return len(entries)
 
     # -- shadow -> guest (IO-Bond writes back and fires MSI) -----------------------
     def stage_to_guest(self) -> Tuple[int, int]:
@@ -121,7 +154,16 @@ class ShadowVring:
         delivered = 0
         while self._completions:
             guest_head, payload = self._completions.popleft()
-            chain = self._chain_for_head(guest_head)
+            chain = self._staged_chains.pop(guest_head)
+            if chain is None:
+                # Duplicate completion: a timed-out request was replayed
+                # and both the original and the retry completed. The
+                # chain was already returned to the guest, so pushing it
+                # used again would corrupt the descriptor free list —
+                # IO-Bond deduplicates at the writeback boundary instead,
+                # guaranteeing exactly-once used-ring delivery.
+                self.duplicates_dropped += 1
+                continue
             written = 0
             if payload:
                 written = self.guest_vq.write_chain(chain, payload)
@@ -129,13 +171,6 @@ class ShadowVring:
             delivered += 1
         self.synced_to_guest += delivered
         return delivered
-
-    # -- bookkeeping ---------------------------------------------------------------
-    def _chain_for_head(self, head: int) -> DescriptorChain:
-        chain = self._staged_chains.pop(head)
-        if chain is None:
-            raise KeyError(f"no in-flight chain with head {head}")
-        return chain
 
 
 class _ChainMap:

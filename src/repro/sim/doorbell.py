@@ -134,6 +134,29 @@ class Doorbell:
         event._state = TRIGGERED
         sim._schedule_at(tick, event)
 
+    def deadline(self, deadline_s: float) -> Event:
+        """Event at the first poll-grid tick at or after ``deadline_s``.
+
+        Lets a parked loop bound its wait (retry timeouts, watchdog
+        budgets) without losing bit-identity with busy polling: the
+        busy-poll loop notices an expired deadline on the first grid
+        tick whose time is ``>= deadline_s``, and this event fires at
+        exactly that tick, replayed with the same chained additions
+        from the current park anchor. Must be called after
+        :meth:`park` (the anchor is the park time); pair with
+        ``sim.any_of([wake, limit])`` and always :meth:`cancel` after.
+        """
+        interval = self.interval
+        tick = self._anchor + interval
+        while tick < deadline_s:
+            tick += interval
+        event = Event(self.sim)
+        event._ok = True
+        event._value = None
+        event._state = TRIGGERED
+        self.sim._schedule_at(tick, event)
+        return event
+
     def cancel(self) -> None:
         """Forget the parked event (loop shutdown); pending rings no-op."""
         self._parked = None

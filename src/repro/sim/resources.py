@@ -85,6 +85,23 @@ class Resource:
         else:
             self.in_use -= 1
 
+    def withdraw(self, event: Event) -> None:
+        """Abandon a request whose waiter was interrupted.
+
+        A process killed while blocked on ``yield resource.request()``
+        must not leave its request behind: a still-queued event would
+        later be granted to a dead process and leak the slot forever.
+        If the grant already happened (the event triggered but the
+        interrupt arrived first), the slot is simply released.
+        """
+        try:
+            self._waiters.remove(event)
+            return
+        except ValueError:
+            pass
+        if event.triggered:
+            self.release()
+
 
 class Store:
     """A FIFO buffer with optional capacity and blocking get/put."""
@@ -183,6 +200,17 @@ class TokenBucket:
     def tokens(self) -> float:
         self._refill()
         return self._tokens
+
+    def set_rate(self, rate: float) -> None:
+        """Change the refill rate in place (brownout fault injection).
+
+        Tokens accrued so far are settled at the old rate first, so the
+        change only affects refill from the current instant on.
+        """
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self._refill()
+        self.rate = float(rate)
 
     def drain(self) -> float:
         """Empty the bucket (e.g. to skip the initial burst in tests)."""

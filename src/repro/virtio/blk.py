@@ -102,6 +102,18 @@ class VirtioBlkDevice(VirtioDevice):
         header = BlkRequestHeader(type=VIRTIO_BLK_T_FLUSH, sector=0)
         return self.vq.add_buffer([header.pack()], [1])
 
+    def request_tracker(self, sim, policy=None):
+        """Driver-side timeout/replay table for the request queue.
+
+        Models blk-mq's per-request timer: a request that misses its
+        deadline is re-kicked or replayed (see
+        :mod:`repro.virtio.reliability`) so a backend crash cannot
+        strand in-flight descriptors.
+        """
+        from repro.virtio.reliability import InflightTable, RetryPolicy
+
+        return InflightTable(sim, self.vq, policy or RetryPolicy())
+
     def _check_range(self, sector: int, nbytes: int) -> None:
         if nbytes % SECTOR_BYTES:
             raise ValueError(f"I/O size {nbytes} is not sector aligned")

@@ -106,6 +106,17 @@ class VirtioNetDevice(VirtioDevice):
         """Give the device one empty Rx buffer of ``size`` bytes."""
         return self.rx.add_buffer([], [VirtioNetHeader.SIZE + size])
 
+    def tx_tracker(self, sim, policy=None):
+        """Driver-side timeout/replay table for the Tx queue.
+
+        The virtio-net analogue of the kernel's netdev tx watchdog: a
+        frame the backend consumed but never retired is replayed after
+        its deadline instead of being lost with the crashed process.
+        """
+        from repro.virtio.reliability import InflightTable, RetryPolicy
+
+        return InflightTable(sim, self.tx, policy or RetryPolicy())
+
     # -- device-side helpers ---------------------------------------------------
     def device_receive_frame(self, frame: bytes) -> bool:
         """Deliver ``frame`` into the guest's next Rx buffer(s).

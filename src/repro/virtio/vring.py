@@ -188,6 +188,33 @@ class VirtQueue:
             self.on_avail()
         return head
 
+    def repost(self, head: int) -> None:
+        """Driver: re-expose a timed-out in-flight chain (replay path).
+
+        The chain's descriptors are still owned by the device (never
+        reaped through :meth:`get_used`), so the buffer can be made
+        available again as-is — the virtio analogue of an NVMe/SCSI
+        command retry after an abort. The device side must deduplicate
+        completions (see ``ShadowVring.flush_to_guest``) because the
+        original request may still complete after the replay.
+        """
+        if head in self._free:
+            raise ValueError(f"chain {head} is not in flight; cannot repost")
+        if self.is_avail_pending(head):
+            raise ValueError(f"chain {head} is still avail-pending; kick instead")
+        self.avail_ring.append(head)
+        self.avail_idx += 1
+        if self.on_avail is not None:
+            self.on_avail()
+
+    def is_avail_pending(self, head: int) -> bool:
+        """Whether ``head`` sits in the avail ring, unconsumed by the device.
+
+        Distinguishes "the device never saw this request" (re-kick it)
+        from "the device consumed it and went silent" (replay it).
+        """
+        return head in self.avail_ring[self._last_avail:]
+
     def needs_kick(self) -> bool:
         """Should the driver notify the device after adding buffers?
 

@@ -1,0 +1,95 @@
+"""Tests for availability/MTTR/MTBF accounting and trace export."""
+
+import pytest
+
+from repro.faults import AvailabilityAccounting
+from repro.sim import Simulator
+from repro.sim.trace import Tracer
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=11)
+
+
+def _two_outages(sim, acct):
+    """Down [0,2] and [8,10] over a 10 s window."""
+
+    def scenario():
+        acct.record_fault("hypervisor_crash", "g")
+        acct.record_down("g")
+        yield sim.timeout(2.0)
+        acct.record_up("g")
+        yield sim.timeout(6.0)
+        acct.record_fault("hypervisor_crash", "g")
+        acct.record_down("g")
+        acct.record_down("g")  # idempotent: earliest edge wins
+        yield sim.timeout(2.0)
+        acct.record_up("g")
+        acct.record_up("g")  # idempotent: no phantom span
+
+    sim.run_process(scenario())
+
+
+class TestAccountingMath:
+    def test_downtime_and_availability(self, sim):
+        acct = AvailabilityAccounting(sim)
+        _two_outages(sim, acct)
+        assert acct.downtime("g") == pytest.approx(4.0)
+        assert acct.availability("g") == pytest.approx(0.6)
+
+    def test_mttr_and_mtbf(self, sim):
+        acct = AvailabilityAccounting(sim)
+        _two_outages(sim, acct)
+        assert acct.mttr("g") == pytest.approx(2.0)
+        # 6 s of uptime over 2 failures.
+        assert acct.mtbf("g") == pytest.approx(3.0)
+
+    def test_summary_counts(self, sim):
+        acct = AvailabilityAccounting(sim)
+        _two_outages(sim, acct)
+        summary = acct.summary("g")
+        assert summary["faults"] == 2.0
+        assert summary["recoveries"] == 2.0
+
+    def test_unknown_target_is_fully_up(self, sim):
+        acct = AvailabilityAccounting(sim)
+        sim.run_process(_advance(sim, 5.0))
+        assert acct.downtime("ghost") == 0.0
+        assert acct.availability("ghost") == 1.0
+        assert acct.mttr("ghost") == 0.0
+        assert acct.mtbf("ghost") == float("inf")
+
+    def test_open_outage_counts_toward_downtime(self, sim):
+        acct = AvailabilityAccounting(sim)
+
+        def scenario():
+            yield sim.timeout(1.0)
+            acct.record_down("g")
+            yield sim.timeout(3.0)
+
+        sim.run_process(scenario())
+        assert acct.downtime("g") == pytest.approx(3.0)
+        assert acct.availability("g") == pytest.approx(0.25)
+        # An open outage is a failure for MTBF even with no recovery yet.
+        assert acct.mtbf("g") == pytest.approx(1.0)
+
+
+class TestTraceExport:
+    def test_outage_spans_reach_chrome_trace(self, sim):
+        tracer = Tracer(sim)
+        acct = AvailabilityAccounting(sim, tracer=tracer)
+        _two_outages(sim, acct)
+        events = tracer.to_chrome_trace()["traceEvents"]
+        outages = [e for e in events if e.get("name") == "outage"]
+        assert len(outages) == 2
+        marks = [e for e in events if e.get("name") == "hypervisor_crash@g"]
+        assert len(marks) == 2
+
+    def test_no_tracer_is_fine(self, sim):
+        acct = AvailabilityAccounting(sim)
+        _two_outages(sim, acct)  # must not raise
+
+
+def _advance(sim, dt):
+    yield sim.timeout(dt)

@@ -1,0 +1,205 @@
+"""Per-kind fault delivery through :class:`FaultInjector`."""
+
+import pytest
+
+from repro.core import BmHiveServer
+from repro.faults import (
+    AvailabilityAccounting,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.sim import Simulator
+from repro.virtio import full_init
+
+
+@pytest.fixture
+def rig():
+    sim = Simulator(seed=21)
+    server = BmHiveServer(sim)
+    guest = server.launch_guest(name="g0")
+    full_init(guest.blk_device)
+    return sim, server, guest
+
+
+def _arm(sim, server, *faults, accounting=None):
+    injector = FaultInjector(sim, FaultPlan.of(*faults), accounting=accounting)
+    injector.arm(server)
+    return injector
+
+
+class TestArming:
+    def test_empty_plan_spawns_nothing(self, rig):
+        sim, server, _ = rig
+        injector = FaultInjector(sim, FaultPlan.none())
+        assert injector.arm(server) == 0
+        sim.run(until=1e-3)
+        assert injector.injected == []
+
+    def test_double_arm_rejected(self, rig):
+        sim, server, _ = rig
+        injector = FaultInjector(sim, FaultPlan.none())
+        injector.arm(server)
+        with pytest.raises(RuntimeError, match="already armed"):
+            injector.arm(server)
+
+    def test_unknown_guest_target_rejected_at_arm_time(self, rig):
+        sim, server, _ = rig
+        with pytest.raises(KeyError, match="ghost"):
+            _arm(sim, server,
+                 FaultSpec(kind="hypervisor_crash", target="ghost", at_s=0.0))
+
+
+class TestPcieFlap:
+    def test_link_flaps_and_retrains(self, rig):
+        sim, server, guest = rig
+        link = guest.bond.port("blk").board_link
+        _arm(sim, server,
+             FaultSpec(kind="pcie_flap", target="g0", at_s=1e-3,
+                       duration_s=0.5e-3, port="blk"))
+        sim.run(until=1.2e-3)
+        assert link.is_down
+        sim.run(until=2e-3)
+        assert not link.is_down
+        assert link.flaps == 1
+
+    def test_transfers_gate_on_the_downed_link(self, rig):
+        sim, server, guest = rig
+        link = guest.bond.port("blk").board_link
+        _arm(sim, server,
+             FaultSpec(kind="pcie_flap", target="g0", at_s=1e-3,
+                       duration_s=0.5e-3, port="blk"))
+        done_at = {}
+
+        def xfer():
+            yield sim.timeout(1.1e-3)  # inside the outage
+            yield from link.transfer(4096)
+            done_at["t"] = sim.now
+
+        sim.spawn(xfer())
+        sim.run(until=5e-3)
+        assert done_at["t"] >= 1.5e-3  # blocked until retrain finished
+
+
+class TestDmaStall:
+    def test_stall_window_blocks_copies(self, rig):
+        sim, server, guest = rig
+        dma = guest.bond.dma
+        _arm(sim, server,
+             FaultSpec(kind="dma_stall", target="g0", at_s=1e-3,
+                       duration_s=2e-3))
+        done_at = {}
+
+        def copy():
+            yield sim.timeout(1.5e-3)
+            yield from dma.copy(4096)
+            done_at["t"] = sim.now
+
+        sim.spawn(copy())
+        sim.run(until=1.5e-3)
+        assert dma.is_stalled
+        sim.run(until=10e-3)
+        assert not dma.is_stalled
+        assert dma.stalls == 1
+        assert done_at["t"] >= 3e-3
+
+
+class TestMailboxTimeout:
+    def test_accesses_in_window_pay_the_penalty(self, rig):
+        sim, server, guest = rig
+        bond = guest.bond
+        port = bond.port("blk")
+        penalty = 5e-6
+        _arm(sim, server,
+             FaultSpec(kind="mailbox_timeout", target="g0", at_s=1e-3,
+                       duration_s=1e-3, param=penalty))
+        spans = {}
+
+        def accesses():
+            yield sim.timeout(1.2e-3)  # inside the window
+            start = sim.now
+            yield from bond.guest_pci_access(port, "device_status")
+            spans["inside"] = sim.now - start
+            yield sim.timeout(2e-3)  # well past the window
+            start = sim.now
+            yield from bond.guest_pci_access(port, "device_status")
+            spans["outside"] = sim.now - start
+
+        sim.spawn(accesses())
+        sim.run(until=10e-3)
+        base = bond.spec.pci_access_latency_s
+        assert spans["inside"] == pytest.approx(base + penalty)
+        assert spans["outside"] == pytest.approx(base)
+        assert bond.mailbox_timeouts == 1
+
+
+class TestHypervisorCrash:
+    def test_crash_kills_the_process_and_is_counted(self, rig):
+        sim, server, guest = rig
+        acct = AvailabilityAccounting(sim)
+        _arm(sim, server,
+             FaultSpec(kind="hypervisor_crash", target="g0", at_s=1e-3),
+             accounting=acct)
+        sim.run(until=2e-3)
+        assert guest.hypervisor.crashed
+        assert not guest.hypervisor.is_polling
+        assert acct.summary("g0")["faults"] == 1.0
+
+
+class TestBackendDisconnect:
+    def test_storage_session_drops_and_reconnects(self, rig):
+        sim, server, guest = rig
+        _arm(sim, server,
+             FaultSpec(kind="backend_disconnect", target="storage", at_s=1e-3,
+                       duration_s=2e-3))
+        latency = {}
+
+        def io():
+            yield sim.timeout(1.5e-3)  # mid-outage
+            start = sim.now
+            yield from server.storage.submit(guest.limiters, 4096, is_read=True)
+            latency["s"] = sim.now - start
+
+        sim.spawn(io())
+        sim.run(until=1.5e-3)
+        assert not server.storage.connected
+        sim.run(until=50e-3)
+        assert server.storage.connected
+        assert server.storage.disconnects == 1
+        # The request queued behind the gate: it waited out the rest of
+        # the outage plus the backoff'd reconnect before being served.
+        assert latency["s"] > 1.5e-3
+
+    def test_vswitch_session_drops_and_reconnects(self, rig):
+        sim, server, guest = rig
+        _arm(sim, server,
+             FaultSpec(kind="backend_disconnect", target="vswitch", at_s=1e-3,
+                       duration_s=2e-3))
+        sim.run(until=1.5e-3)
+        assert not server.vswitch.connected
+        sim.run(until=50e-3)
+        assert server.vswitch.connected
+        assert server.vswitch.disconnects == 1
+
+
+class TestBrownout:
+    def test_rates_scale_down_then_restore(self, rig):
+        sim, server, guest = rig
+        limiters = guest.limiters
+        original = {
+            "pps": limiters.pps.rate,
+            "iops": limiters.iops.rate,
+            "net": limiters.net_bytes.rate,
+            "storage": limiters.storage_bytes.rate,
+        }
+        _arm(sim, server,
+             FaultSpec(kind="brownout", target="g0", at_s=1e-3,
+                       duration_s=2e-3, param=0.25))
+        sim.run(until=2e-3)  # inside the brownout
+        assert limiters.iops.rate == pytest.approx(original["iops"] * 0.25)
+        assert limiters.pps.rate == pytest.approx(original["pps"] * 0.25)
+        sim.run(until=5e-3)  # after restore
+        assert limiters.iops.rate == pytest.approx(original["iops"])
+        assert limiters.pps.rate == pytest.approx(original["pps"])
+        assert limiters.net_bytes.rate == pytest.approx(original["net"])
+        assert limiters.storage_bytes.rate == pytest.approx(original["storage"])

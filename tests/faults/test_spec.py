@@ -1,0 +1,127 @@
+"""Tests for the frozen fault-plan configuration layer."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config.profile import HardwareProfile
+from repro.faults import FAULT_KINDS, FaultPlan, FaultSpec
+from repro.sim import Simulator
+
+
+def _crash(target="g0", at_s=1e-3, **kw):
+    return FaultSpec(kind="hypervisor_crash", target=target, at_s=at_s, **kw)
+
+
+class TestFaultSpecValidation:
+    def test_known_kinds_construct(self):
+        for kind in FAULT_KINDS:
+            target = "storage" if kind == "backend_disconnect" else "g0"
+            param = 0.5 if kind == "brownout" else 0.0
+            FaultSpec(kind=kind, target=target, at_s=0.0, param=param)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(kind="cosmic_ray", target="g0", at_s=0.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="must be >= 0"):
+            _crash(at_s=-1.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError, match="duration"):
+            _crash(duration_s=-1e-3)
+
+    def test_empty_target_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            FaultSpec(kind="hypervisor_crash", target="", at_s=0.0)
+
+    def test_brownout_needs_fraction(self):
+        with pytest.raises(ValueError, match="rate factor"):
+            FaultSpec(kind="brownout", target="g0", at_s=0.0, param=0.0)
+        with pytest.raises(ValueError, match="rate factor"):
+            FaultSpec(kind="brownout", target="g0", at_s=0.0, param=1.5)
+
+    def test_backend_disconnect_target_constrained(self):
+        with pytest.raises(ValueError, match="backend_disconnect"):
+            FaultSpec(kind="backend_disconnect", target="g0", at_s=0.0)
+        FaultSpec(kind="backend_disconnect", target="vswitch", at_s=0.0)
+
+    def test_frozen(self):
+        spec = _crash()
+        with pytest.raises(Exception):
+            spec.at_s = 2.0
+
+
+class TestFaultPlan:
+    def test_none_is_falsy_and_empty(self):
+        plan = FaultPlan.none()
+        assert not plan
+        assert len(plan) == 0
+        assert plan.schedule() == ()
+
+    def test_schedule_sorted_by_time(self):
+        plan = FaultPlan.of(_crash(at_s=3e-3), _crash(at_s=1e-3),
+                            _crash(at_s=2e-3))
+        assert [f.at_s for f in plan.schedule()] == [1e-3, 2e-3, 3e-3]
+
+    def test_filters(self):
+        plan = FaultPlan.of(
+            _crash(target="a"),
+            FaultSpec(kind="dma_stall", target="b", at_s=0.0, duration_s=1e-3),
+        )
+        assert len(plan.for_kind("hypervisor_crash")) == 1
+        assert plan.for_target("b")[0].kind == "dma_stall"
+
+    def test_json_round_trip(self):
+        plan = FaultPlan.of(
+            _crash(),
+            FaultSpec(kind="brownout", target="g1", at_s=2e-3,
+                      duration_s=5e-3, param=0.25),
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_sample_is_seed_deterministic(self):
+        def draw(seed):
+            sim = Simulator(seed=seed)
+            return FaultPlan.sample(sim.streams, horizon_s=10.0,
+                                    targets=("g0", "g1"),
+                                    mean_interval_s=1.0)
+
+        assert draw(5) == draw(5)
+        assert draw(5) != draw(6)
+
+    def test_sample_respects_horizon_and_kinds(self):
+        sim = Simulator(seed=9)
+        plan = FaultPlan.sample(sim.streams, horizon_s=2.0, targets=("g0",),
+                                kinds=("dma_stall",), mean_interval_s=0.2,
+                                duration_s=1e-3)
+        assert plan  # mean 0.2s over 2s: arrivals all but certain
+        assert all(f.at_s < 2.0 for f in plan.faults)
+        assert all(f.kind == "dma_stall" for f in plan.faults)
+
+    def test_sample_draws_from_named_stream_only(self):
+        """Sampling must not disturb any other stream's sequence."""
+        sim_a, sim_b = Simulator(seed=3), Simulator(seed=3)
+        FaultPlan.sample(sim_a.streams, horizon_s=5.0, targets=("g0",))
+        probe_a = sim_a.streams.get("ssd.cloud-ssd-pool").uniform()
+        probe_b = sim_b.streams.get("ssd.cloud-ssd-pool").uniform()
+        assert probe_a == probe_b
+
+
+class TestProfileIntegration:
+    def test_default_profile_has_no_plan(self):
+        assert HardwareProfile.paper().faults is None
+
+    def test_profile_round_trips_with_plan(self):
+        plan = FaultPlan.of(_crash(), _crash(at_s=7e-3))
+        profile = replace(HardwareProfile.paper(), faults=plan)
+        rebuilt = HardwareProfile.from_dict(profile.to_dict())
+        assert rebuilt == profile
+        assert rebuilt.faults == plan
+        assert HardwareProfile.from_json(profile.to_json()) == profile
+
+    def test_profile_round_trips_without_plan(self):
+        profile = HardwareProfile.paper()
+        assert HardwareProfile.from_dict(profile.to_dict()) == profile
+        assert HardwareProfile.from_dict(profile.to_dict()).faults is None

@@ -5,6 +5,7 @@ import pytest
 from repro.hw import ComputeBoard
 from repro.hypervisor import BoardHealth, Watchdog, WatchdogSpec
 from repro.sim import Simulator
+from repro.sim.doorbell import set_idle_skip_default
 
 
 @pytest.fixture
@@ -72,3 +73,47 @@ class TestRecovery:
         assert BoardHealth.SUSPECT in watchdog.history
         assert BoardHealth.RESET in watchdog.history
         assert watchdog.history[-1] is BoardHealth.HEALTHY
+
+
+class TestIdleSkipEquivalence:
+    """Parking on the doorbell must be invisible in the results.
+
+    The monitor's idle-skip branch replays the grid with chained
+    additions and backfills skipped heartbeats, so history, state,
+    reset count, and the final clock are seed-for-seed identical to
+    busy polling — only the event count shrinks.
+    """
+
+    def _run(self, idle_skip, hang_at=None, periods=10):
+        prior = set_idle_skip_default(idle_skip)
+        try:
+            sim = Simulator(seed=61)
+            board = ComputeBoard(sim, "Xeon E5-2682 v4", 64)
+            board.power_on()
+            watchdog = Watchdog(sim, board)
+            if hang_at is not None:
+                def wedge():
+                    yield sim.timeout(hang_at)
+                    watchdog.hang()
+                sim.spawn(wedge())
+            sim.run_process(watchdog.monitor(periods=periods))
+            return (tuple(watchdog.history), watchdog.state,
+                    watchdog.resets, sim.now, sim.stats.events_popped)
+        finally:
+            set_idle_skip_default(prior)
+
+    def test_healthy_run_is_bit_identical(self):
+        *parked, parked_events = self._run(True)
+        *polled, polled_events = self._run(False)
+        assert parked == polled
+        assert parked_events < polled_events  # the whole point
+
+    def test_hang_at_start_is_bit_identical(self):
+        assert self._run(True, hang_at=0.0)[:4] == \
+            self._run(False, hang_at=0.0)[:4]
+
+    def test_hang_mid_run_is_bit_identical(self):
+        # Wedge between heartbeat ticks 2 and 3, while the doorbell
+        # variant is parked mid-grid.
+        assert self._run(True, hang_at=2.5)[:4] == \
+            self._run(False, hang_at=2.5)[:4]

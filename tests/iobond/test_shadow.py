@@ -61,11 +61,14 @@ class TestShadowToGuest:
         assert got_head == head
         assert written == len(b"response-data")
 
-    def test_unknown_head_rejected(self, rings):
+    def test_completion_without_chain_dropped_as_duplicate(self, rings):
+        # A completion whose chain is gone (the retry path already
+        # returned it to the guest) must be deduplicated, not pushed
+        # used twice — double-reaping would corrupt the free list.
         _, shadow = rings
         shadow.backend_complete(99, b"bogus")
-        with pytest.raises(KeyError):
-            shadow.flush_to_guest()
+        assert shadow.flush_to_guest() == 0
+        assert shadow.duplicates_dropped == 1
 
     def test_sync_counters(self, rings):
         guest_vq, shadow = rings
