@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Run seeded chaos campaigns; shrink and dump any failure found.
+
+Entry point for the chaos pipeline (DESIGN.md §8). For each campaign
+seed this runs the full chaos scenario plus its fault-free baseline
+under the invariant-monitor suite and the differential oracle:
+
+    PYTHONPATH=src python scripts/chaos_sweep.py --seeds 20
+    PYTHONPATH=src python scripts/chaos_sweep.py --seeds 5 --out report.json
+    PYTHONPATH=src python scripts/chaos_sweep.py --seeds 5 --inject-regression
+
+The report is deterministic byte for byte: it contains only simulated
+quantities, so two runs with the same seed list produce identical
+files (CI diffs them to prove it). On any failing campaign the plan is
+delta-debugged down to a minimal reproducer and written as
+``chaos_minimized_seed<k>.json`` — a :class:`FaultPlan` JSON that
+round-trips through ``HardwareProfile.faults`` — and the sweep exits
+non-zero.
+
+``--inject-regression`` installs a deliberately broken monitor
+(:class:`~repro.chaos.monitors.RegressionProbeMonitor`) to prove the
+failure path end to end: the sweep must *fail*, and must emit a
+minimized single-fault plan. In this mode the exit code is inverted —
+zero iff the regression was caught and shrunk.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.chaos import CampaignRunner, RegressionProbeMonitor, shrink_plan
+from repro.sim import idle_skip_default
+
+
+def sweep(n_seeds: int, outdir: pathlib.Path, out_name: str,
+          inject_regression: bool = False, shrink_runs: int = 120) -> int:
+    """Returns the number of failing campaigns (after writing reports)."""
+    extra = None
+    if inject_regression:
+        extra = lambda ctx: [RegressionProbeMonitor(ctx.injector)]
+    runner = CampaignRunner(extra_monitors=extra)
+
+    report = {
+        "idle_skip": idle_skip_default(),
+        "inject_regression": inject_regression,
+        "seeds": list(range(n_seeds)),
+        "campaigns": {},
+    }
+    failures = 0
+    for seed in range(n_seeds):
+        outcome = runner.run(seed)
+        entry = outcome.report()
+        if outcome.failed:
+            failures += 1
+            shrunk = shrink_plan(
+                outcome.plan,
+                lambda plan: runner.run(seed, plan=plan).failed,
+                max_runs=shrink_runs,
+            )
+            entry["shrink"] = {
+                "summary": shrunk.summary(),
+                "runs": shrunk.runs,
+                "minimal_faults": len(shrunk.plan),
+                "budget_exhausted": shrunk.budget_exhausted,
+            }
+            plan_path = outdir / f"chaos_minimized_seed{seed}.json"
+            plan_path.write_text(shrunk.plan.to_json() + "\n")
+            print(f"seed {seed}: FAILED — {shrunk.summary()}; "
+                  f"minimal plan -> {plan_path}")
+            print(shrunk.plan.describe())
+        else:
+            print(f"seed {seed}: ok "
+                  f"({entry['n_faults']} faults, "
+                  f"{entry['monitor_samples']} samples, 0 violations)")
+        report["campaigns"][str(seed)] = entry
+
+    report["failures"] = failures
+    out_path = outdir / out_name
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out_path} ({n_seeds} campaigns, {failures} failing)")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", type=int, default=20, metavar="N",
+                        help="run campaign seeds 0..N-1 (default 20)")
+    parser.add_argument("--out", default="chaos_report.json",
+                        help="report file name (default chaos_report.json)")
+    parser.add_argument("--outdir", default=".",
+                        help="directory for report + minimized plans")
+    parser.add_argument("--inject-regression", action="store_true",
+                        help="install a broken monitor; succeed iff the "
+                             "sweep fails and shrinks it to one fault")
+    parser.add_argument("--shrink-runs", type=int, default=120,
+                        help="predicate-evaluation budget for the shrinker")
+    args = parser.parse_args(argv)
+    if args.seeds <= 0:
+        parser.error("--seeds must be positive")
+
+    outdir = pathlib.Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    failures = sweep(args.seeds, outdir, args.out,
+                     inject_regression=args.inject_regression,
+                     shrink_runs=args.shrink_runs)
+
+    if args.inject_regression:
+        # The broken monitor must trip at least one campaign AND every
+        # failing campaign must have produced a minimized plan file.
+        plans = sorted(outdir.glob("chaos_minimized_seed*.json"))
+        if failures == 0:
+            print("regression probe never tripped — shrink pipeline "
+                  "NOT exercised", file=sys.stderr)
+            return 1
+        if len(plans) < failures:
+            print(f"{failures} failures but only {len(plans)} minimized "
+                  f"plan file(s)", file=sys.stderr)
+            return 1
+        print(f"regression caught and shrunk ({len(plans)} minimized "
+              f"plan file(s))")
+        return 0
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

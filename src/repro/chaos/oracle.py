@@ -1,0 +1,75 @@
+"""Differential oracle: faults must not touch guests outside the plan.
+
+The strongest correctness statement a deterministic simulation can
+make is bitwise: a guest that no fault targeted must produce completion
+records that are float-for-float identical to the same seed's
+fault-free run. This generalizes the fault-isolation experiment's
+two-guest check to arbitrary chaos plans — *every* guest the plan does
+not name is a protected co-tenant, not just a designated bystander.
+
+Backend-scoped faults (``backend_disconnect`` against the vSwitch or
+the storage fabric session) exercise the reconnect machinery but serve
+no guest datapath in the chaos testbed, so they leave every guest
+protected.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.faults.spec import BACKEND_TARGETS, FaultPlan
+
+__all__ = ["DifferentialOracle"]
+
+
+class DifferentialOracle:
+    """Compares per-guest completion records against a baseline run."""
+
+    @staticmethod
+    def protected_guests(plan: FaultPlan,
+                         guests: Iterable[str]) -> Tuple[str, ...]:
+        """Guests the plan never targets (backend faults target no guest)."""
+        targeted = {spec.target for spec in plan.schedule()
+                    if spec.target not in BACKEND_TARGETS}
+        return tuple(g for g in guests if g not in targeted)
+
+    @staticmethod
+    def compare(baseline: Dict[str, object], faulted: Dict[str, object],
+                protected: Iterable[str]) -> List[str]:
+        """Float-for-float record comparison; returns one message per diff.
+
+        ``baseline`` and ``faulted`` map guest name to its
+        :class:`~repro.faults.workload.RingBlkLoad`. Protected guests
+        must match the baseline exactly — identical record tuples,
+        zero retries, zero failures, zero duplicate deliveries.
+        """
+        diffs: List[str] = []
+        for name in protected:
+            clean, chaos = baseline[name], faulted[name]
+            if not clean.records:
+                diffs.append(f"{name}: baseline produced no records")
+                continue
+            if chaos.retries != clean.retries:
+                diffs.append(
+                    f"{name}: protected guest needed {chaos.retries} "
+                    f"retries (baseline {clean.retries})")
+            if chaos.failures != clean.failures:
+                diffs.append(
+                    f"{name}: protected guest lost requests "
+                    f"{chaos.failures} (baseline {clean.failures})")
+            if chaos.records == clean.records:
+                continue
+            mismatches = [
+                i for i, (a, b) in enumerate(zip(clean.records, chaos.records))
+                if a != b
+            ]
+            detail = (f"first diff at record {mismatches[0]}: "
+                      f"{clean.records[mismatches[0]]} != "
+                      f"{chaos.records[mismatches[0]]}"
+                      if mismatches else
+                      f"lengths differ: {len(clean.records)} != "
+                      f"{len(chaos.records)}")
+            diffs.append(
+                f"{name}: records diverged from fault-free baseline "
+                f"({detail})")
+        return diffs

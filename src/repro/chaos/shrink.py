@@ -1,0 +1,136 @@
+"""Plan shrinking: reduce a failing campaign to a minimal reproducer.
+
+A generated campaign that trips a monitor typically carries several
+faults that have nothing to do with the failure. The shrinker performs
+delta debugging over the plan's fault list — chunked removal first,
+then one-at-a-time to a fixpoint, then per-fault simplification
+(zeroing durations, canonicalizing parameters) — re-running the
+campaign through a caller-supplied ``still_fails`` predicate after
+every candidate edit. The result is 1-minimal: removing any single
+remaining fault makes the failure disappear.
+
+The predicate interface keeps the shrinker generic: production use
+wraps :meth:`repro.chaos.runner.CampaignRunner.run`, unit tests wrap a
+cheap synthetic predicate, and anything else that maps a
+:class:`FaultPlan` to pass/fail works unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Tuple
+
+from repro.faults.spec import FaultPlan
+
+__all__ = ["ShrinkOutcome", "shrink_plan"]
+
+
+@dataclass
+class ShrinkOutcome:
+    """Result of one shrink session."""
+
+    plan: FaultPlan                    # minimal failing plan
+    original_faults: int
+    runs: int                          # predicate evaluations spent
+    removed: int = 0
+    simplified: int = 0
+    budget_exhausted: bool = False
+    history: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        note = " (budget exhausted)" if self.budget_exhausted else ""
+        return (f"shrunk {self.original_faults} -> {len(self.plan)} fault(s) "
+                f"in {self.runs} run(s), {self.simplified} simplified{note}")
+
+
+def shrink_plan(plan: FaultPlan, still_fails: Callable[[FaultPlan], bool],
+                max_runs: int = 200, simplify: bool = True) -> ShrinkOutcome:
+    """Delta-debug ``plan`` down to a minimal plan that still fails.
+
+    ``still_fails`` must return True for ``plan`` itself (checked
+    first; ValueError otherwise) and be deterministic — the campaign
+    runner is, by construction. ``max_runs`` bounds total predicate
+    evaluations; on exhaustion the best plan found so far is returned
+    with ``budget_exhausted`` set rather than raising, so CI always
+    gets *a* reproducer.
+    """
+    outcome = ShrinkOutcome(plan=plan, original_faults=len(plan), runs=0)
+
+    def check(candidate: FaultPlan) -> bool:
+        if outcome.runs >= max_runs:
+            outcome.budget_exhausted = True
+            return False
+        outcome.runs += 1
+        return still_fails(candidate)
+
+    if not check(plan):
+        raise ValueError(
+            "shrink_plan needs a failing plan, but still_fails(plan) is "
+            "False — nothing to minimize")
+
+    plan = _minimize(plan, check, outcome)
+    if simplify:
+        plan = _simplify(plan, check, outcome)
+    outcome.plan = plan
+    outcome.removed = outcome.original_faults - len(plan)
+    return outcome
+
+
+def _minimize(plan: FaultPlan, check, outcome: ShrinkOutcome) -> FaultPlan:
+    """Chunked removal (ddmin-style), then singles to a fixpoint."""
+    chunk = max(1, len(plan) // 2)
+    while chunk >= 1:
+        index = 0
+        while index < len(plan) and len(plan) > 0:
+            drop = tuple(range(index, min(index + chunk, len(plan))))
+            candidate = plan.without(*drop)
+            if check(candidate):
+                plan = candidate
+                outcome.history.append(
+                    f"removed {len(drop)} fault(s) -> {len(plan)} left")
+                # Stay at the same index: the next chunk slid into place.
+            else:
+                index += chunk
+            if outcome.budget_exhausted:
+                return plan
+        chunk //= 2
+    return plan
+
+
+# Simplification attempts per fault, tried in order: a fault with no
+# duration and a trivial parameter is the easiest reproducer to read.
+def _simpler_variants(fault):
+    variants = []
+    if fault.duration_s > 0.0:
+        variants.append(replace(fault, duration_s=0.0))
+    if fault.kind == "mailbox_timeout" and fault.param > 0.0:
+        variants.append(replace(fault, param=0.0))
+    if fault.kind == "brownout" and fault.param != 1.0:
+        # factor 1.0 is a no-op rate scale — the mildest valid brownout.
+        variants.append(replace(fault, param=1.0))
+    if fault.at_s > 0.0:
+        variants.append(replace(fault, at_s=0.0))
+    return variants
+
+
+def _simplify(plan: FaultPlan, check, outcome: ShrinkOutcome) -> FaultPlan:
+    for index in range(len(plan)):
+        # Re-derive variants from the *current* fault after every
+        # accepted edit so simplifications compose (duration zeroed AND
+        # time zeroed), not overwrite each other. Each acceptance
+        # strictly simplifies one field, so the loop terminates.
+        progress = True
+        while progress:
+            progress = False
+            for variant in _simpler_variants(plan.faults[index]):
+                candidate = plan.replacing(index, variant)
+                if check(candidate):
+                    plan = candidate
+                    outcome.simplified += 1
+                    outcome.history.append(
+                        f"simplified fault {index} ({variant.kind})")
+                    progress = True
+                    break
+                if outcome.budget_exhausted:
+                    return plan
+    return plan

@@ -9,6 +9,7 @@ from typing import Callable, Dict
 
 from repro.experiments import (
     ablations,
+    chaos_campaign,
     cost,
     fig1,
     fig7,
@@ -39,7 +40,7 @@ ALL_EXPERIMENTS: Dict[str, Callable] = {
         table1, table2, table3,
         fig1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16,
         cost, nested, iobond_micro, security_exp, ablations, future_work,
-        fault_isolation,
+        fault_isolation, chaos_campaign,
     )
 }
 

@@ -78,6 +78,9 @@ def _run_scenario(seed: int, plan: FaultPlan, n_requests: int):
     for load in loads.values():
         sim.spawn(load.run())
     sim.run(until=n_requests * PERIOD_S + 0.2)
+    # Close any down span still open at the horizon so downtime/MTTR
+    # are final numbers, not moving targets of "now".
+    accounting.finalize()
     return sim, loads, supervisor, accounting, tracer
 
 

@@ -81,6 +81,34 @@ class AvailabilityAccounting:
         if self.tracer is not None:
             self.tracer.end(target, "outage")
 
+    def finalize(self, now: Optional[float] = None) -> int:
+        """Close every still-open down span at simulation end.
+
+        A target that never recovered (crash with no restart budget
+        left, fault landing after the workload drained) would otherwise
+        leave ``down_since`` dangling: its downtime would stay a moving
+        target of "now", MTTR would ignore the outage entirely, and the
+        Chrome-trace ``outage`` span would never get its end edge. Call
+        this once after the final ``sim.run``; returns the number of
+        spans closed. Idempotent — a second call finds nothing open.
+        """
+        when = self.sim.now if now is None else now
+        closed = 0
+        for entry in self._targets.values():
+            if entry.down_since is None:
+                continue
+            if when < entry.down_since:
+                raise ValueError(
+                    f"finalize at {when} precedes open span start "
+                    f"{entry.down_since} for {entry.target!r}"
+                )
+            entry.down_spans.append((entry.down_since, when))
+            entry.down_since = None
+            closed += 1
+            if self.tracer is not None:
+                self.tracer.end(entry.target, "outage")
+        return closed
+
     # -- queries -------------------------------------------------------
     def downtime(self, target: str) -> float:
         if target not in self._targets:

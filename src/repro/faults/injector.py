@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.faults.spec import FaultPlan, FaultSpec
+from repro.faults.spec import BACKEND_TARGETS, FaultPlan, FaultSpec
 from repro.faults.supervisor import BackoffSpec, reconnect_with_backoff
 
 __all__ = ["FaultInjector"]
@@ -32,13 +32,28 @@ class FaultInjector:
         self._armed = False
 
     def arm(self, server) -> int:
-        """Spawn one delivery process per planned fault; returns count."""
+        """Spawn one delivery process per planned fault; returns count.
+
+        Validates every target eagerly, and reports *all* bad targets
+        in one error alongside the valid names, so a mistyped chaos
+        plan fails with enough context to fix it in one pass.
+        """
         if self._armed:
             raise RuntimeError("fault plan already armed")
         self._armed = True
-        for spec in self.plan.schedule():
-            if spec.kind != "backend_disconnect":
-                self._guest(server, spec.target)  # fail fast on bad targets
+        guests = tuple(g.name for g in server.guests)
+        bad = sorted({
+            spec.target for spec in self.plan.schedule()
+            if spec.kind != "backend_disconnect" and spec.target not in guests
+        })
+        if bad:
+            raise KeyError(
+                f"fault plan names unknown target(s) "
+                f"{', '.join(repr(t) for t in bad)} on {server.name}; "
+                f"valid guests: {', '.join(guests) or '(none)'}; "
+                f"valid backend targets (backend_disconnect only): "
+                f"{', '.join(BACKEND_TARGETS)}"
+            )
         for spec in self.plan.schedule():
             self.sim.spawn(self._deliver(server, spec),
                            name=f"fault.{spec.kind}@{spec.target}")
@@ -85,8 +100,12 @@ class FaultInjector:
         for guest in server.guests:
             if guest.name == name:
                 return guest
-        known = ", ".join(g.name for g in server.guests)
-        raise KeyError(f"no guest {name!r} on {server.name}; guests: {known}")
+        known = ", ".join(g.name for g in server.guests) or "(none)"
+        raise KeyError(
+            f"no guest {name!r} on {server.name}; valid guests: {known}; "
+            f"valid backend targets (backend_disconnect only): "
+            f"{', '.join(BACKEND_TARGETS)}"
+        )
 
     def _brownout(self, limiters, spec: FaultSpec):
         """Scale every live bucket by ``param`` for the fault window."""

@@ -24,7 +24,7 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterable, Sequence, Tuple
 
-__all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan"]
+__all__ = ["FAULT_KINDS", "BACKEND_TARGETS", "FaultSpec", "FaultPlan"]
 
 # The fault taxonomy, one kind per failable layer (DESIGN.md §7):
 #   pcie_flap          hw/pcie      link down + retrain delay
@@ -130,6 +130,34 @@ class FaultPlan:
 
     def for_target(self, target: str) -> Tuple[FaultSpec, ...]:
         return tuple(f for f in self.schedule() if f.target == target)
+
+    def without(self, *indices: int) -> "FaultPlan":
+        """A copy with the faults at ``indices`` (into ``faults``) removed.
+
+        The shrinker's primitive operation: dropping faults can only
+        remove behavior, so the remaining schedule is always valid.
+        """
+        drop = set(indices)
+        return FaultPlan(faults=tuple(
+            f for i, f in enumerate(self.faults) if i not in drop
+        ))
+
+    def replacing(self, index: int, spec: FaultSpec) -> "FaultPlan":
+        """A copy with the fault at ``index`` swapped for ``spec``."""
+        faults = list(self.faults)
+        faults[index] = spec
+        return FaultPlan(faults=tuple(faults))
+
+    def describe(self) -> str:
+        """One line per fault, in injection order (reports, shrinker logs)."""
+        if not self.faults:
+            return "(no faults)"
+        return "\n".join(
+            f"{f.at_s * 1e3:9.3f} ms  {f.kind:<19s} {f.target}"
+            + (f"  dur={f.duration_s * 1e3:.3f} ms" if f.duration_s else "")
+            + (f"  param={f.param:g}" if f.param else "")
+            for f in self.schedule()
+        )
 
     @classmethod
     def sample(cls, streams, horizon_s: float, targets: Sequence[str],

@@ -46,13 +46,23 @@ class DmaEngine:
         self.sim = sim
         self.spec = spec
         self.name = name
-        self._channels = Resource(sim, capacity=spec.channels)
+        self._channels = Resource(sim, capacity=spec.channels,
+                                  label=f"{name}.channels")
         self._rng = sim.streams.get(f"dma.{name}") if spec.error_rate else None
         self._stalled: Optional[Event] = None
         self.bytes_copied = 0.0
         self.copies = 0
         self.transient_errors = 0
         self.stalls = 0
+
+    def counters(self) -> dict:
+        """Monotonic copy counters (chaos conservation monitors)."""
+        return {
+            "bytes_copied": self.bytes_copied,
+            "copies": self.copies,
+            "transient_errors": self.transient_errors,
+            "stalls": self.stalls,
+        }
 
     # -- engine state (fault injection) --------------------------------
     @property

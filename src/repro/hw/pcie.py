@@ -68,12 +68,25 @@ class PcieLink:
         self.sim = sim
         self.spec = spec
         self.name = name
-        self._wire = Resource(sim, capacity=1)
+        self._wire = Resource(sim, capacity=1, label=f"{name}.wire")
         self._down: Optional[Event] = None
         self.bytes_moved = 0.0
         self.transactions = 0
         self.flaps = 0
         self.retrain_time_s = 0.0
+
+    def counters(self) -> dict:
+        """Monotonic traffic counters (chaos conservation monitors).
+
+        Every value here only ever grows; an invariant monitor samples
+        the dict during a run and flags any rewind as corruption.
+        """
+        return {
+            "bytes_moved": self.bytes_moved,
+            "transactions": self.transactions,
+            "flaps": self.flaps,
+            "retrain_time_s": self.retrain_time_s,
+        }
 
     # -- link state (fault injection) ----------------------------------
     @property

@@ -137,6 +137,36 @@ class ShadowVring:
         self.publish_staged(len(entries))
         return len(entries)
 
+    # -- invariants (chaos monitors) -----------------------------------------
+    def conservation(self) -> Dict[str, int]:
+        """Entry-conservation snapshot for the invariant monitors.
+
+        Every entry that ever entered the shadow (``synced_to_shadow``)
+        is, at any instant, in exactly one place: still queued for the
+        backend, consumed-but-uncompleted (in flight), queued as a
+        completion, delivered to the guest, or dropped as a duplicate.
+        ``balance`` is the difference between the source count and the
+        sum of those sinks — zero unless an entry was lost or forged.
+        Replays move entries between buckets and never touch the sum.
+        """
+        accounted = (
+            len(self._entries)
+            + len(self._consumed)
+            + len(self._completions)
+            + self.synced_to_guest
+            + self.duplicates_dropped
+        )
+        return {
+            "synced_to_shadow": self.synced_to_shadow,
+            "queued": len(self._entries),
+            "inflight": len(self._consumed),
+            "completions_pending": len(self._completions),
+            "synced_to_guest": self.synced_to_guest,
+            "duplicates_dropped": self.duplicates_dropped,
+            "replayed": self.replayed,
+            "balance": self.synced_to_shadow - accounted,
+        }
+
     # -- shadow -> guest (IO-Bond writes back and fires MSI) -----------------------
     def stage_to_guest(self) -> Tuple[int, int]:
         """Peek at pending completions: ``(count, payload_bytes)``."""

@@ -6,7 +6,14 @@ resources, token-bucket rate limiters, named random streams, and
 latency/throughput collectors.
 """
 
-from repro.sim.core import EventStats, Simulator, global_event_totals, reset_global_stats
+from repro.sim.core import (
+    AuditReport,
+    EventStats,
+    QuiescenceError,
+    Simulator,
+    global_event_totals,
+    reset_global_stats,
+)
 from repro.sim.doorbell import Doorbell, idle_skip_default, set_idle_skip_default
 from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
 from repro.sim.process import Process
@@ -26,6 +33,8 @@ from repro.sim.stats import (
 __all__ = [
     "Simulator",
     "EventStats",
+    "AuditReport",
+    "QuiescenceError",
     "Doorbell",
     "idle_skip_default",
     "set_idle_skip_default",

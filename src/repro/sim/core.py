@@ -39,13 +39,21 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Generator, Iterable, List, Optional
+import weakref
+from typing import Any, Generator, Iterable, List, Optional, Tuple
 
 from repro.sim.events import PENDING, PROCESSED, AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
 from repro.sim.rng import RandomStreams
 
-__all__ = ["Simulator", "EventStats", "global_event_totals", "reset_global_stats"]
+__all__ = [
+    "Simulator",
+    "EventStats",
+    "AuditReport",
+    "QuiescenceError",
+    "global_event_totals",
+    "reset_global_stats",
+]
 
 
 class EventStats:
@@ -109,6 +117,88 @@ def reset_global_stats() -> None:
     _ALL_STATS.clear()
 
 
+class QuiescenceError(RuntimeError):
+    """Raised by :meth:`AuditReport.require_quiescent` on leftovers."""
+
+
+class AuditReport:
+    """Snapshot of everything still alive inside one :class:`Simulator`.
+
+    ``live_processes`` are spawned processes that have not completed
+    (daemon poll loops legitimately appear here forever); ``resources``
+    and ``stores`` carry outstanding-slot counts for every primitive
+    constructed against the simulator. Produced by
+    :meth:`Simulator.audit`.
+    """
+
+    def __init__(self, now: float,
+                 live_processes: List[Process],
+                 resources: List[Tuple[str, int, int, int]],
+                 stores: List[Tuple[str, int, int, int]]):
+        self.now = now
+        self.live_processes = live_processes
+        # (label, in_use, capacity, queued_waiters) per Resource.
+        self.resources = resources
+        # (label, items, blocked_putters, blocked_getters) per Store.
+        self.stores = stores
+
+    @property
+    def busy_resources(self) -> List[Tuple[str, int, int, int]]:
+        """Resources with held slots or queued waiters."""
+        return [r for r in self.resources if r[1] > 0 or r[3] > 0]
+
+    @property
+    def stuck_putters(self) -> List[Tuple[str, int, int, int]]:
+        """Stores with producers blocked on a full buffer."""
+        return [s for s in self.stores if s[2] > 0]
+
+    def offenders(self, allow_processes: Tuple[str, ...] = ()) -> List[str]:
+        """Human-readable leftovers, excluding allowed daemon names.
+
+        ``allow_processes`` are name prefixes (a supervisor or poll loop
+        is expected to outlive every workload); anything else still
+        alive — or any held resource slot / blocked putter — is an
+        offender.
+        """
+        out = []
+        for proc in self.live_processes:
+            name = proc.name
+            if any(name.startswith(prefix) for prefix in allow_processes):
+                continue
+            target = proc.target
+            waiting = f" waiting on {target!r}" if target is not None else ""
+            out.append(f"process {name!r} never completed{waiting}")
+        for label, in_use, capacity, queued in self.busy_resources:
+            out.append(
+                f"resource {label!r} holds {in_use}/{capacity} slot(s), "
+                f"{queued} waiter(s) queued"
+            )
+        for label, items, putters, _getters in self.stuck_putters:
+            out.append(
+                f"store {label!r} has {putters} blocked putter(s) "
+                f"({items} item(s) buffered)"
+            )
+        return out
+
+    def require_quiescent(self, allow_processes: Tuple[str, ...] = ()) -> None:
+        """Raise :class:`QuiescenceError` listing every offender."""
+        offenders = self.offenders(allow_processes)
+        if offenders:
+            listing = "\n  ".join(offenders)
+            raise QuiescenceError(
+                f"simulation not quiescent at t={self.now:.6f}s; "
+                f"{len(offenders)} offender(s):\n  {listing}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"AuditReport(now={self.now:.6f}, "
+            f"live_processes={[p.name for p in self.live_processes]}, "
+            f"busy_resources={self.busy_resources}, "
+            f"stuck_putters={self.stuck_putters})"
+        )
+
+
 class Simulator:
     """Discrete-event simulator with a seeded random-stream registry.
 
@@ -134,6 +224,12 @@ class Simulator:
         self._fast_path = fast_path
         self.stats = EventStats()
         _ALL_STATS.append(self.stats)
+        # Audit registries: weak references so tracking never extends a
+        # process's or primitive's lifetime. Dead refs are pruned lazily
+        # whenever a list doubles past its last compaction size.
+        self._audit_processes: List[weakref.ref] = []
+        self._audit_primitives: List[weakref.ref] = []
+        self._audit_prune_at = 64
 
     # -- clock ------------------------------------------------------------
     @property
@@ -165,10 +261,51 @@ class Simulator:
 
     def spawn(self, generator: Generator, name: str = "") -> Process:
         """Start a new process running ``generator``."""
-        return Process(self, generator, name=name)
+        proc = Process(self, generator, name=name)
+        self._audit_processes.append(weakref.ref(proc))
+        if len(self._audit_processes) >= self._audit_prune_at:
+            self._prune_audit()
+        return proc
 
     # Alias familiar to SimPy users.
     process = spawn
+
+    # -- audit -------------------------------------------------------------
+    def _register_primitive(self, primitive) -> None:
+        """Track a Resource/Store for :meth:`audit` (weakly)."""
+        self._audit_primitives.append(weakref.ref(primitive))
+
+    def _prune_audit(self) -> None:
+        self._audit_processes = [r for r in self._audit_processes
+                                 if r() is not None]
+        self._audit_prune_at = max(64, 2 * len(self._audit_processes))
+
+    def audit(self) -> AuditReport:
+        """Snapshot live processes and outstanding Resource/Store slots.
+
+        The end-of-run quiescence monitor is built on this, but it is
+        just as useful standalone:
+
+            sim.audit().require_quiescent(allow_processes=("bmhv.",))
+
+        raises a :class:`QuiescenceError` naming every never-completed
+        process, held resource slot, and blocked store putter.
+        """
+        live = [proc for ref in self._audit_processes
+                if (proc := ref()) is not None and proc.is_alive]
+        resources, stores = [], []
+        for ref in self._audit_primitives:
+            primitive = ref()
+            if primitive is None:
+                continue
+            label = getattr(primitive, "label", "") or type(primitive).__name__
+            if hasattr(primitive, "capacity") and hasattr(primitive, "in_use"):
+                resources.append((label, primitive.in_use, primitive.capacity,
+                                  primitive.queue_length))
+            elif hasattr(primitive, "items"):
+                stores.append((label, len(primitive.items),
+                               len(primitive._putters), len(primitive._getters)))
+        return AuditReport(self._now, live, resources, stores)
 
     # -- scheduling ---------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:

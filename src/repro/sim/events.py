@@ -64,7 +64,11 @@ class Event:
     kernel (see :class:`Timeout`).
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_state", "_waiter", "_urgent")
+    # ``__weakref__`` keeps the slotted class weak-referenceable: the
+    # simulator's audit registry tracks processes (which are events)
+    # through weak references so it never extends their lifetime.
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_state", "_waiter",
+                 "_urgent", "__weakref__")
 
     def __init__(self, sim: "Simulator"):  # noqa: F821 - circular hint
         self.sim = sim

@@ -34,13 +34,17 @@ class Resource:
             resource.release()
     """
 
-    def __init__(self, sim, capacity: int = 1):
+    def __init__(self, sim, capacity: int = 1, label: str = ""):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.sim = sim
         self.capacity = capacity
+        self.label = label
         self.in_use = 0
         self._waiters: Deque[Event] = deque()
+        register = getattr(sim, "_register_primitive", None)
+        if register is not None:
+            register(self)
 
     @property
     def available(self) -> int:
@@ -106,14 +110,18 @@ class Resource:
 class Store:
     """A FIFO buffer with optional capacity and blocking get/put."""
 
-    def __init__(self, sim, capacity: Optional[int] = None):
+    def __init__(self, sim, capacity: Optional[int] = None, label: str = ""):
         if capacity is not None and capacity < 1:
             raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
         self.sim = sim
         self.capacity = capacity
+        self.label = label
         self.items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
         self._putters: Deque[tuple] = deque()
+        register = getattr(sim, "_register_primitive", None)
+        if register is not None:
+            register(self)
 
     def __len__(self) -> int:
         return len(self.items)

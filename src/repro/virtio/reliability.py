@@ -70,6 +70,16 @@ class InflightTable:
     def __len__(self) -> int:
         return len(self._inflight)
 
+    def inflight_heads(self) -> List[int]:
+        """Heads with a running request timer, oldest issue first.
+
+        Monitor hook: at quiescence this must be empty — a populated
+        table after the workload completed means a request was neither
+        completed nor declared failed.
+        """
+        entries = sorted(self._inflight.values(), key=lambda e: e.issued_at)
+        return [e.head for e in entries]
+
     def post(self, head: int) -> None:
         """Start the request timer for ``head`` (call right after issue)."""
         if head in self._inflight:

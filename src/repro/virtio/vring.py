@@ -324,6 +324,38 @@ class VirtQueue:
         return False
 
     # ------------------------------------------------------------------
+    # Invariant introspection (chaos monitors)
+    # ------------------------------------------------------------------
+    def cursors(self) -> dict:
+        """Ring cursors for monotonicity checks.
+
+        ``avail_ring`` and ``used_ring`` are append-only histories, so
+        each value here must be non-decreasing over a run and each
+        consumption cursor bounded by its production index.
+        """
+        return {
+            "avail_idx": self.avail_idx,
+            "last_avail": self._last_avail,
+            "used_idx": self.used_idx,
+            "last_used": self._last_used,
+        }
+
+    def head_counts(self) -> Tuple[dict, dict]:
+        """``(avail_counts, used_counts)`` — per-head occurrence counts.
+
+        A head may legitimately appear in the avail history more than
+        once (reposts after a timeout), but exactly-once delivery means
+        no head is ever *used* more often than it was made available.
+        """
+        avail: dict = {}
+        for head in self.avail_ring:
+            avail[head] = avail.get(head, 0) + 1
+        used: dict = {}
+        for head, _written in self.used_ring:
+            used[head] = used.get(head, 0) + 1
+        return avail, used
+
+    # ------------------------------------------------------------------
     # Data access helpers (device side)
     # ------------------------------------------------------------------
     def read_chain(self, chain: DescriptorChain) -> bytes:

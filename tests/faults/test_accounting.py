@@ -93,3 +93,54 @@ class TestTraceExport:
 
 def _advance(sim, dt):
     yield sim.timeout(dt)
+
+
+class TestFinalize:
+    def test_closes_open_spans_and_is_idempotent(self, sim):
+        tracer = Tracer(sim)
+        acct = AvailabilityAccounting(sim, tracer=tracer)
+
+        def scenario():
+            acct.record_down("g")
+            yield sim.timeout(4.0)
+
+        sim.run_process(scenario())
+        assert acct.finalize() == 1
+        entry = acct._target("g")
+        assert entry.down_since is None
+        assert entry.down_spans == [(0.0, 4.0)]
+        assert acct.downtime("g") == pytest.approx(4.0)
+        # The trace outage span got its end edge.
+        outages = [e for e in tracer.to_chrome_trace()["traceEvents"]
+                   if e.get("name") == "outage"]
+        assert len(outages) == 1
+        # Second call finds nothing open.
+        assert acct.finalize() == 0
+        assert entry.down_spans == [(0.0, 4.0)]
+
+    def test_explicit_time_and_targets_already_up(self, sim):
+        acct = AvailabilityAccounting(sim)
+
+        def scenario():
+            acct.record_down("a")
+            acct.record_down("b")
+            yield sim.timeout(1.0)
+            acct.record_up("b")
+            yield sim.timeout(1.0)
+
+        sim.run_process(scenario())
+        assert acct.finalize(now=5.0) == 1  # only "a" was still open
+        assert acct._target("a").down_spans == [(0.0, 5.0)]
+        assert acct._target("b").down_spans == [(0.0, 1.0)]
+
+    def test_rejects_time_before_open_edge(self, sim):
+        acct = AvailabilityAccounting(sim)
+
+        def scenario():
+            yield sim.timeout(3.0)
+            acct.record_down("g")
+            yield sim.timeout(1.0)
+
+        sim.run_process(scenario())
+        with pytest.raises(ValueError, match="precedes"):
+            acct.finalize(now=2.0)

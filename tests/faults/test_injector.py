@@ -49,6 +49,20 @@ class TestArming:
             _arm(sim, server,
                  FaultSpec(kind="hypervisor_crash", target="ghost", at_s=0.0))
 
+    def test_target_error_lists_every_bad_and_valid_name(self, rig):
+        sim, server, _ = rig
+        with pytest.raises(KeyError) as excinfo:
+            _arm(sim, server,
+                 FaultSpec(kind="hypervisor_crash", target="ghost", at_s=0.0),
+                 FaultSpec(kind="dma_stall", target="phantom", at_s=1e-3),
+                 FaultSpec(kind="pcie_flap", target="g0", at_s=2e-3))
+        message = str(excinfo.value)
+        # Every bad target, every valid guest, and the backend targets
+        # appear in one error so a mistyped plan is fixable in one pass.
+        assert "ghost" in message and "phantom" in message
+        assert "g0" in message
+        assert "vswitch" in message and "storage" in message
+
 
 class TestPcieFlap:
     def test_link_flaps_and_retrains(self, rig):
