@@ -1,0 +1,53 @@
+"""Benchmark the parallel orchestrator: suite fan-out vs serial.
+
+Two benchmarks run the same job list — the heavyweight half of the
+evaluation suite — once inline and once through a worker pool sized to
+the machine, and assert the merged reports agree modulo wall time.
+The pool is constructed outside the timed region: the benchmark
+measures the steady-state fan-out cost, which is what CI and developer
+loops pay per run (worker spawn + import is a once-per-session cost).
+"""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.parallel import (ExperimentJob, ExperimentShardJob, WorkerPool,
+                            bench_diff, default_jobs, is_shardable,
+                            merge_bench, run_suite)
+
+HEAVY_EXPERIMENTS = ["fig9", "fig11", "security", "ablations",
+                     "future_work", "fault_isolation", "chaos_campaign"]
+
+
+def _suite_jobs():
+    import sys
+
+    jobs = []
+    for exp_id in HEAVY_EXPERIMENTS:
+        if is_shardable(exp_id):
+            module = sys.modules[ALL_EXPERIMENTS[exp_id].__module__]
+            n_shards = len(module.shard_plan(seed=0, quick=True))
+            jobs.extend(ExperimentShardJob(exp_id, shard=k)
+                        for k in range(n_shards))
+        else:
+            jobs.append(ExperimentJob(exp_id))
+    return jobs
+
+
+def test_bench_suite_serial(benchmark):
+    jobs = _suite_jobs()
+    results = benchmark.pedantic(
+        lambda: run_suite(jobs, n_jobs=1), rounds=1, iterations=1)
+    report, _ = merge_bench(jobs, results, {"seed": 0})
+    assert set(report["experiments"]) == set(HEAVY_EXPERIMENTS)
+
+
+def test_bench_suite_parallel(benchmark):
+    jobs = _suite_jobs()
+    with WorkerPool(min(default_jobs(), 8)) as pool:
+        results = benchmark.pedantic(
+            lambda: run_suite(jobs, pool=pool), rounds=1, iterations=1)
+    parallel_report, _ = merge_bench(jobs, results, {"seed": 0})
+    serial_report, _ = merge_bench(jobs, run_suite(jobs, n_jobs=1),
+                                   {"seed": 0})
+    assert bench_diff(serial_report, parallel_report) == []

@@ -6,6 +6,7 @@ seed this runs the full chaos scenario plus its fault-free baseline
 under the invariant-monitor suite and the differential oracle:
 
     PYTHONPATH=src python scripts/chaos_sweep.py --seeds 20
+    PYTHONPATH=src python scripts/chaos_sweep.py --seeds 20 --jobs 8
     PYTHONPATH=src python scripts/chaos_sweep.py --seeds 5 --out report.json
     PYTHONPATH=src python scripts/chaos_sweep.py --seeds 5 --inject-regression
 
@@ -29,53 +30,49 @@ import json
 import pathlib
 import sys
 
-from repro.chaos import CampaignRunner, RegressionProbeMonitor, shrink_plan
+from repro.parallel import ChaosCampaignJob, merge_chaos, run_suite
 from repro.sim import idle_skip_default
 
 
 def sweep(n_seeds: int, outdir: pathlib.Path, out_name: str,
-          inject_regression: bool = False, shrink_runs: int = 120) -> int:
-    """Returns the number of failing campaigns (after writing reports)."""
-    extra = None
-    if inject_regression:
-        extra = lambda ctx: [RegressionProbeMonitor(ctx.injector)]
-    runner = CampaignRunner(extra_monitors=extra)
+          inject_regression: bool = False, shrink_runs: int = 120,
+          jobs: int = 1) -> int:
+    """Returns the number of failing campaigns (after writing reports).
 
-    report = {
+    ``jobs > 1`` fans the campaigns over a worker pool; each campaign
+    (and, when it fails, its shrink loop) runs whole inside one worker,
+    and the report is merged in seed order — byte-identical to a serial
+    sweep of the same seeds.
+    """
+    job_list = [ChaosCampaignJob(seed, inject_regression=inject_regression,
+                                 shrink_runs=shrink_runs)
+                for seed in range(n_seeds)]
+    results = run_suite(job_list, n_jobs=jobs)
+
+    header = {
         "idle_skip": idle_skip_default(),
         "inject_regression": inject_regression,
         "seeds": list(range(n_seeds)),
-        "campaigns": {},
     }
-    failures = 0
+    report, minimized, failures = merge_chaos(job_list, results, header)
+
     for seed in range(n_seeds):
-        outcome = runner.run(seed)
-        entry = outcome.report()
-        if outcome.failed:
-            failures += 1
-            shrunk = shrink_plan(
-                outcome.plan,
-                lambda plan: runner.run(seed, plan=plan).failed,
-                max_runs=shrink_runs,
-            )
-            entry["shrink"] = {
-                "summary": shrunk.summary(),
-                "runs": shrunk.runs,
-                "minimal_faults": len(shrunk.plan),
-                "budget_exhausted": shrunk.budget_exhausted,
-            }
+        entry = report["campaigns"][str(seed)]
+        if entry["failed"]:
+            plan = minimized.get(seed)
             plan_path = outdir / f"chaos_minimized_seed{seed}.json"
-            plan_path.write_text(shrunk.plan.to_json() + "\n")
-            print(f"seed {seed}: FAILED — {shrunk.summary()}; "
-                  f"minimal plan -> {plan_path}")
-            print(shrunk.plan.describe())
+            if plan is not None:
+                plan_path.write_text(plan["json"])
+                print(f"seed {seed}: FAILED — {plan['summary']}; "
+                      f"minimal plan -> {plan_path}")
+                print(plan["describe"])
+            else:  # pragma: no cover - shrink always runs on failure
+                print(f"seed {seed}: FAILED (no minimized plan)")
         else:
             print(f"seed {seed}: ok "
                   f"({entry['n_faults']} faults, "
                   f"{entry['monitor_samples']} samples, 0 violations)")
-        report["campaigns"][str(seed)] = entry
 
-    report["failures"] = failures
     out_path = outdir / out_name
     out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"wrote {out_path} ({n_seeds} campaigns, {failures} failing)")
@@ -95,15 +92,20 @@ def main(argv=None) -> int:
                              "sweep fails and shrinks it to one fault")
     parser.add_argument("--shrink-runs", type=int, default=120,
                         help="predicate-evaluation budget for the shrinker")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (default 1 = in-process); "
+                             "the report is byte-identical either way")
     args = parser.parse_args(argv)
     if args.seeds <= 0:
         parser.error("--seeds must be positive")
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     outdir = pathlib.Path(args.outdir)
     outdir.mkdir(parents=True, exist_ok=True)
     failures = sweep(args.seeds, outdir, args.out,
                      inject_regression=args.inject_regression,
-                     shrink_runs=args.shrink_runs)
+                     shrink_runs=args.shrink_runs, jobs=args.jobs)
 
     if args.inject_regression:
         # The broken monitor must trip at least one campaign AND every

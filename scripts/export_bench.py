@@ -8,11 +8,24 @@ JSON file in the repository root so successive runs can be diffed:
 
     python scripts/export_bench.py                # all experiments
     python scripts/export_bench.py fig11 fig9     # just these
+    python scripts/export_bench.py --jobs 8       # process-pool fan-out
+    python scripts/export_bench.py --out my.json  # explicit output path
     REPRO_IDLE_SKIP=0 python scripts/export_bench.py fig11   # A/B runs
+
+``--jobs N`` fans the suite over a persistent worker pool
+(:mod:`repro.parallel`); experiments that declare the shard protocol
+(e.g. ``chaos_campaign``) additionally split into per-campaign jobs so
+no single experiment serializes the whole run. Results are merged by
+job key, never completion order, so the report is identical to a
+serial run outside the wall-time fields (``scripts/diff_bench.py``
+checks exactly that).
 
 Output shape::
 
     {
+      "git_commit": "<rev-parse HEAD>",
+      "timestamp": "<ISO-8601 UTC>",
+      "jobs": 8,
       "idle_skip": true,
       "seed": 0,
       "quick": true,
@@ -20,28 +33,73 @@ Output shape::
         "fig11": {"wall_s": 0.41, "events": {"events_popped": ..., ...}},
         ...
       },
-      "total_wall_s": ...
+      "total_wall_s": ...,     # sum of per-job wall times
+      "elapsed_wall_s": ...    # end-to-end, what --jobs improves
     }
+
+Auto-numbering is concurrency-safe: the slot is claimed with
+``O_CREAT | O_EXCL`` (two racing runs can never pick the same number)
+and the content lands via write-to-temp + atomic rename, so a reader
+never observes a partially written BENCH file.
 """
 
+import argparse
+import datetime
 import json
+import os
 import pathlib
+import subprocess
 import sys
 import time
 
 from repro.experiments import ALL_EXPERIMENTS
-from repro.sim import global_event_totals, idle_skip_default, reset_global_stats
+from repro.parallel import (ExperimentJob, ExperimentShardJob, is_shardable,
+                            merge_bench, run_suite)
+from repro.sim import idle_skip_default
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
-def _next_bench_path(directory: pathlib.Path) -> pathlib.Path:
+def _git_commit() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=str(REPO_ROOT),
+            capture_output=True, text=True, timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def _claim_bench_path(directory: pathlib.Path) -> pathlib.Path:
+    """Reserve the next free ``BENCH_<n>.json`` slot race-free.
+
+    ``O_CREAT | O_EXCL`` makes the claim atomic: of two runs racing for
+    ``BENCH_3.json``, exactly one wins and the other moves on to
+    ``BENCH_4.json`` — unlike the old exists()-then-write scan, which
+    let both write the same file.
+    """
     n = 0
-    while (directory / f"BENCH_{n}.json").exists():
-        n += 1
-    return directory / f"BENCH_{n}.json"
+    while True:
+        path = directory / f"BENCH_{n}.json"
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            n += 1
+            continue
+        os.close(fd)
+        return path
 
 
-def run(names=None, seed: int = 0, quick: bool = True,
-        outdir: str = ".") -> pathlib.Path:
+def _atomic_write(path: pathlib.Path, text: str) -> None:
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+def build_jobs(names=None, seed: int = 0, quick: bool = True,
+               shard: bool = True):
+    """The suite as a job list: shard-capable experiments fan out."""
     selected = dict(ALL_EXPERIMENTS)
     if names:
         unknown = [n for n in names if n not in selected]
@@ -50,33 +108,81 @@ def run(names=None, seed: int = 0, quick: bool = True,
             raise SystemExit(f"unknown experiment(s) {unknown}; known: {known}")
         selected = {n: selected[n] for n in names}
 
-    report = {
+    jobs = []
+    for exp_id in selected:
+        if shard and is_shardable(exp_id):
+            module = sys.modules[ALL_EXPERIMENTS[exp_id].__module__]
+            n_shards = len(module.shard_plan(seed=seed, quick=quick))
+            jobs.extend(ExperimentShardJob(exp_id, shard=k, seed=seed,
+                                           quick=quick)
+                        for k in range(n_shards))
+        else:
+            jobs.append(ExperimentJob(exp_id, seed=seed, quick=quick))
+    return jobs
+
+
+def run(names=None, seed: int = 0, quick: bool = True, outdir: str = ".",
+        jobs: int = 1, out=None) -> pathlib.Path:
+    start = time.perf_counter()
+    job_list = build_jobs(names, seed=seed, quick=quick)
+    results = run_suite(job_list, n_jobs=jobs)
+
+    header = {
+        "git_commit": _git_commit(),
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "jobs": jobs,
         "idle_skip": idle_skip_default(),
         "seed": seed,
         "quick": quick,
-        "experiments": {},
     }
-    total = 0.0
-    for exp_id, runner in selected.items():
-        reset_global_stats()
-        t0 = time.perf_counter()
-        runner(seed=seed, quick=quick)
-        wall = time.perf_counter() - t0
-        total += wall
-        report["experiments"][exp_id] = {
-            "wall_s": round(wall, 6),
-            "events": global_event_totals(),
-        }
-        print(f"{exp_id}: {wall:.3f}s "
-              f"({global_event_totals()['events_popped']} events)")
-    report["total_wall_s"] = round(total, 6)
+    report, experiment_results = merge_bench(job_list, results, header)
+    report["elapsed_wall_s"] = round(time.perf_counter() - start, 6)
 
-    path = _next_bench_path(pathlib.Path(outdir))
-    path.write_text(json.dumps(report, indent=2) + "\n")
+    for exp_id, entry in report["experiments"].items():
+        print(f"{exp_id}: {entry['wall_s']:.3f}s "
+              f"({entry['events']['events_popped']} events)")
+        result = experiment_results[exp_id]
+        if result is not None and not result.passed:
+            failed = "; ".join(c.name for c in result.failed_checks())
+            print(f"  WARNING {exp_id} checks failed: {failed}",
+                  file=sys.stderr)
+
+    if out is not None:
+        path = pathlib.Path(out)
+        if path.parent:
+            path.parent.mkdir(parents=True, exist_ok=True)
+    else:
+        directory = pathlib.Path(outdir)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = _claim_bench_path(directory)
+    _atomic_write(path, json.dumps(report, indent=2) + "\n")
     print(f"wrote {path} ({len(report['experiments'])} experiments, "
-          f"{total:.3f}s total)")
+          f"{report['total_wall_s']:.3f}s total, "
+          f"{report['elapsed_wall_s']:.3f}s elapsed, jobs={jobs})")
     return path
 
 
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids (default: the whole suite)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (default 1 = in-process)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--full", action="store_true",
+                        help="full-scale runs (quick=False)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the report here instead of "
+                             "auto-numbering BENCH_<n>.json")
+    parser.add_argument("--outdir", default=".",
+                        help="directory for auto-numbered BENCH files")
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    run(args.experiments or None, seed=args.seed, quick=not args.full,
+        outdir=args.outdir, jobs=args.jobs, out=args.out)
+    return 0
+
+
 if __name__ == "__main__":
-    run(sys.argv[1:] or None)
+    raise SystemExit(main())

@@ -21,7 +21,7 @@ of campaign seeds and holds the stack to three standards at once:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional
 
 from repro.chaos import CampaignRunner
 from repro.experiments.base import ExperimentResult, check
@@ -30,11 +30,63 @@ EXPERIMENT_ID = "chaos_campaign"
 TITLE = "Randomized fault campaigns: invariants hold, co-tenants untouched"
 
 
-def run(seed: int = 0, quick: bool = True,
-        trace_path: Optional[str] = None) -> ExperimentResult:
-    n_campaigns = 6 if quick else 20
+def _n_campaigns(quick: bool) -> int:
+    return 6 if quick else 20
+
+
+def shard_plan(seed: int = 0, quick: bool = True) -> List[Dict]:
+    """Independent shards: one per campaign, plus the replay campaign.
+
+    Every campaign is a pure function of its seed (two fresh
+    simulations per :meth:`CampaignRunner.run`), so the experiment
+    parallelizes at campaign granularity. The final shard re-runs the
+    first campaign seed from scratch; the byte-identity comparison
+    between the two reports happens in :func:`merge_shards`.
+    """
+    shards = [{"role": "campaign", "campaign_seed": seed + k,
+               "base_seed": seed}
+              for k in range(_n_campaigns(quick))]
+    shards.append({"role": "replay", "campaign_seed": seed,
+                   "base_seed": seed})
+    return shards
+
+
+def run_shard(spec: Dict) -> Dict:
+    """Run one campaign and summarize it as a picklable payload."""
     runner = CampaignRunner()
-    outcomes = [runner.run(seed + k) for k in range(n_campaigns)]
+    outcome = runner.run(spec["campaign_seed"])
+    loads = outcome.chaos.loads.values()
+    payload = {
+        "role": spec["role"],
+        "campaign": outcome.seed,
+        "faults": len(outcome.plan),
+        "kinds": sorted({f.kind for f in outcome.plan.schedule()}),
+        "protected": len(outcome.protected),
+        "completed": sum(len(l.records) for l in loads),
+        "requests": sum(l.n_requests for l in loads),
+        "retries": sum(l.retries for l in loads),
+        "violations": len(outcome.violations),
+        "oracle_diffs": len(outcome.oracle_diffs),
+        "lost": sum(len(l.failures) for l in loads),
+        "duplicated": sum(l.duplicate_completions for l in loads),
+        "monitor_samples": outcome.chaos.suite.samples,
+    }
+    # Only the first campaign and its replay need the full report: the
+    # byte-identity check compares exactly these two strings.
+    if spec["campaign_seed"] == spec["base_seed"]:
+        payload["report_json"] = outcome.report_json()
+    return payload
+
+
+def merge_shards(seed: int, quick: bool,
+                 payloads: List[Dict]) -> ExperimentResult:
+    """Fold shard payloads (in shard order) back into the experiment."""
+    campaigns = [p for p in payloads if p["role"] == "campaign"]
+    replays = [p for p in payloads if p["role"] == "replay"]
+    if len(campaigns) != _n_campaigns(quick) or len(replays) != 1:
+        raise ValueError(
+            f"expected {_n_campaigns(quick)} campaign shards + 1 replay, "
+            f"got {len(campaigns)} + {len(replays)}")
 
     rows = []
     kinds_seen = set()
@@ -42,33 +94,31 @@ def run(seed: int = 0, quick: bool = True,
     total_diffs = 0
     total_lost = 0
     total_duplicated = 0
-    for outcome in outcomes:
-        kinds = sorted({f.kind for f in outcome.plan.schedule()})
-        kinds_seen.update(kinds)
-        total_violations += len(outcome.violations)
-        total_diffs += len(outcome.oracle_diffs)
-        completed = sum(len(l.records) for l in outcome.chaos.loads.values())
-        requests = sum(l.n_requests for l in outcome.chaos.loads.values())
-        total_lost += sum(len(l.failures)
-                          for l in outcome.chaos.loads.values())
-        total_duplicated += sum(l.duplicate_completions
-                                for l in outcome.chaos.loads.values())
+    for payload in campaigns:
+        kinds_seen.update(payload["kinds"])
+        total_violations += payload["violations"]
+        total_diffs += payload["oracle_diffs"]
+        total_lost += payload["lost"]
+        total_duplicated += payload["duplicated"]
         rows.append({
-            "campaign": outcome.seed,
-            "faults": len(outcome.plan),
-            "kinds": ",".join(kinds),
-            "protected": len(outcome.protected),
-            "completed": f"{completed}/{requests}",
-            "retries": sum(l.retries for l in outcome.chaos.loads.values()),
-            "violations": len(outcome.violations),
-            "oracle_diffs": len(outcome.oracle_diffs),
+            "campaign": payload["campaign"],
+            "faults": payload["faults"],
+            "kinds": ",".join(payload["kinds"]),
+            "protected": payload["protected"],
+            "completed": f"{payload['completed']}/{payload['requests']}",
+            "retries": payload["retries"],
+            "violations": payload["violations"],
+            "oracle_diffs": payload["oracle_diffs"],
         })
 
     # Replayability: the first campaign, re-run from scratch, must
     # reproduce its report byte for byte.
-    replay = runner.run(seed)
-    deterministic = replay.report_json() == outcomes[0].report_json()
+    deterministic = replays[0]["report_json"] == campaigns[0]["report_json"]
 
+    # Only the config is consulted here — building a runner is cheap
+    # (no simulation) and keeps the derived constants in one place.
+    runner = CampaignRunner()
+    n_campaigns = len(campaigns)
     min_kinds = 4 if quick else len(
         {k for k, w in runner.config.kind_weights if w > 0})
     checks = [
@@ -79,8 +129,8 @@ def run(seed: int = 0, quick: bool = True,
               total_diffs == 0,
               f"{total_diffs} record divergences"),
         check("every campaign injected at least one fault",
-              all(len(o.plan) >= 1 for o in outcomes),
-              f"fault counts {[len(o.plan) for o in outcomes]}"),
+              all(p["faults"] >= 1 for p in campaigns),
+              f"fault counts {[p['faults'] for p in campaigns]}"),
         check("fault-kind coverage across the sweep",
               len(kinds_seen) >= min_kinds,
               f"{len(kinds_seen)} kinds seen: {sorted(kinds_seen)}"),
@@ -91,8 +141,14 @@ def run(seed: int = 0, quick: bool = True,
               deterministic),
     ]
     notes = (f"{n_campaigns} campaigns, "
-             f"{sum(len(o.plan) for o in outcomes)} faults total, "
-             f"{outcomes[0].chaos.suite.samples} monitor samples/run, "
+             f"{sum(p['faults'] for p in campaigns)} faults total, "
+             f"{campaigns[0]['monitor_samples']} monitor samples/run, "
              f"horizon {runner.config.horizon_s * 1e3:.0f} ms, "
              f"until {runner.until_s():.3f} s")
     return ExperimentResult(EXPERIMENT_ID, TITLE, rows, checks, notes=notes)
+
+
+def run(seed: int = 0, quick: bool = True,
+        trace_path: Optional[str] = None) -> ExperimentResult:
+    shards = shard_plan(seed=seed, quick=quick)
+    return merge_shards(seed, quick, [run_shard(spec) for spec in shards])

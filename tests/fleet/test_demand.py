@@ -37,6 +37,27 @@ class TestDemandGeneration:
         assert TenantRequest(0, 32).smallest_board() == 32
         assert TenantRequest(0, 90).smallest_board() == 96
 
+    def test_board_covers_request_for_every_size(self):
+        for ht in range(1, SINGLE_TENANT_SERVER_HT + 1):
+            board = TenantRequest(0, ht).smallest_board()
+            assert board >= ht or board == 96
+
+    def test_tenant_ids_are_sequential(self, sim):
+        requests = generate_demand(sim, 100)
+        assert [r.tenant_id for r in requests] == list(range(100))
+
+    def test_deterministic_given_seed(self):
+        a = generate_demand(Simulator(seed=7), 1_000)
+        b = generate_demand(Simulator(seed=7), 1_000)
+        assert a == b
+
+    def test_uses_dedicated_stream(self):
+        # Unrelated RNG traffic must not perturb the demand draw.
+        sim = Simulator(seed=81)
+        sim.streams.get("unrelated.stream").normal(size=500)
+        perturbed = generate_demand(sim, 1_000)
+        assert perturbed == generate_demand(Simulator(seed=81), 1_000)
+
 
 class TestPlacementStudy:
     def test_bmhive_needs_far_fewer_servers(self, sim):
@@ -60,3 +81,17 @@ class TestPlacementStudy:
         a = run_placement_study(Simulator(seed=5), n_tenants=1000)
         b = run_placement_study(Simulator(seed=5), n_tenants=1000)
         assert a.boards_by_size == b.boards_by_size
+
+    def test_jumbo_boards_take_a_whole_chassis(self, sim):
+        study = run_placement_study(sim, n_tenants=5000, boards_per_server=16)
+        jumbo = study.boards_by_size[96]
+        small = sum(count for size, count in study.boards_by_size.items()
+                    if size != 96)
+        assert study.bmhive_servers == jumbo + -(-small // 16)
+
+    def test_denser_chassis_needs_fewer_servers(self):
+        sparse = run_placement_study(Simulator(seed=5), n_tenants=2000,
+                                     boards_per_server=8)
+        dense = run_placement_study(Simulator(seed=5),
+                                    n_tenants=2000, boards_per_server=32)
+        assert dense.bmhive_servers < sparse.bmhive_servers

@@ -1,0 +1,81 @@
+"""Dedicated coverage for :mod:`repro.fleet.exits` (the Table 2 census)."""
+
+import numpy as np
+import pytest
+
+from repro.fleet.exits import (TABLE2_PAPER_PERCENTS, TABLE2_THRESHOLDS,
+                               ExitCensus, run_exit_census)
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=0)
+
+
+class TestRunExitCensus:
+    def test_tail_matches_all_three_paper_points(self, sim):
+        census = run_exit_census(sim, n_vms=300_000)
+        for threshold in TABLE2_THRESHOLDS:
+            paper = TABLE2_PAPER_PERCENTS[threshold]
+            observed = census.percent_above[threshold]
+            # Within 35% relative of the published tail percentage —
+            # the third point (100K) validates the fit, it was not used
+            # to solve the parameters.
+            assert observed == pytest.approx(paper, rel=0.35), threshold
+
+    def test_percent_above_is_monotone_in_threshold(self, sim):
+        census = run_exit_census(sim, n_vms=100_000)
+        percents = [census.percent_above[t] for t in TABLE2_THRESHOLDS]
+        assert percents == sorted(percents, reverse=True)
+
+    def test_custom_thresholds(self, sim):
+        census = run_exit_census(sim, n_vms=50_000, thresholds=[1, 10 ** 9])
+        assert census.percent_above[1] > 99.0
+        assert census.percent_above[10 ** 9] == 0.0
+
+    def test_mean_exceeds_median_heavy_tail(self, sim):
+        census = run_exit_census(sim, n_vms=100_000)
+        assert census.mean_rate > census.median_rate
+
+    def test_rejects_empty_fleet(self, sim):
+        with pytest.raises(ValueError, match="n_vms"):
+            run_exit_census(sim, n_vms=0)
+
+    def test_deterministic_given_seed(self):
+        a = run_exit_census(Simulator(seed=11), n_vms=10_000)
+        b = run_exit_census(Simulator(seed=11), n_vms=10_000)
+        assert a.percent_above == b.percent_above
+        assert a.mean_rate == b.mean_rate
+
+    def test_different_seeds_differ(self):
+        a = run_exit_census(Simulator(seed=1), n_vms=10_000)
+        b = run_exit_census(Simulator(seed=2), n_vms=10_000)
+        assert a.mean_rate != b.mean_rate
+
+    def test_uses_dedicated_stream(self, sim):
+        # Drawing from an unrelated stream first must not change the
+        # census: fleet.exits owns its own named RNG stream.
+        sim.streams.get("unrelated.stream").normal(size=1000)
+        census = run_exit_census(sim, n_vms=10_000)
+        reference = run_exit_census(Simulator(seed=0), n_vms=10_000)
+        assert census.percent_above == reference.percent_above
+
+
+class TestTable2Rows:
+    def test_rows_shape_and_reference_columns(self, sim):
+        rows = run_exit_census(sim, n_vms=50_000).table2_rows()
+        assert [r["exits_per_second"] for r in rows] == TABLE2_THRESHOLDS
+        for row in rows:
+            assert row["paper_percent"] == (
+                TABLE2_PAPER_PERCENTS[row["exits_per_second"]])
+            assert 0.0 <= row["percent_of_vms"] <= 100.0
+
+    def test_rows_reflect_census_values(self):
+        census = ExitCensus(
+            n_vms=3,
+            percent_above={10_000: 5.0, 50_000: 1.0, 100_000: 0.5},
+            mean_rate=1.0, median_rate=0.5,
+        )
+        rows = census.table2_rows()
+        assert [r["percent_of_vms"] for r in rows] == [5.0, 1.0, 0.5]

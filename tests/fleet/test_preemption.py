@@ -1,0 +1,88 @@
+"""Dedicated coverage for :mod:`repro.fleet.preemption` (Fig 1)."""
+
+import numpy as np
+import pytest
+
+from repro.fleet.preemption import _diurnal_factor, run_preemption_study
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=0)
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_preemption_study(Simulator(seed=0), n_vms=20_000)
+
+
+class TestDiurnalFactor:
+    def test_normalized_around_one(self):
+        factors = [_diurnal_factor(h) for h in range(24)]
+        assert np.mean(factors) == pytest.approx(1.0, abs=0.02)
+        assert 0.7 <= min(factors) and max(factors) <= 1.3
+
+    def test_evening_peak_morning_trough(self):
+        assert _diurnal_factor(16) > _diurnal_factor(4)
+
+
+class TestRunPreemptionStudy:
+    def test_paper_bands_shared(self, study):
+        # "the 99th percentile ... from about 2% to 4%, and the 99.9th
+        # percentile ... from 2% to 10%" (Section 2.1).
+        assert 0.015 <= min(study.shared_p99) <= max(study.shared_p99) <= 0.045
+        assert 0.02 <= min(study.shared_p999) <= max(study.shared_p999) <= 0.10
+
+    def test_paper_bands_exclusive(self, study):
+        # "about 0.2% and 0.5%, respectively".
+        assert max(study.exclusive_p99) <= 0.004
+        assert max(study.exclusive_p999) <= 0.008
+        assert min(study.exclusive_p99) > 0.0
+
+    def test_exclusive_strictly_better_every_hour(self, study):
+        for hour in range(24):
+            assert study.exclusive_p99[hour] < study.shared_p99[hour]
+            assert study.exclusive_p999[hour] < study.shared_p999[hour]
+
+    def test_p999_dominates_p99(self, study):
+        for hour in range(24):
+            assert study.shared_p999[hour] > study.shared_p99[hour]
+            assert study.exclusive_p999[hour] > study.exclusive_p99[hour]
+
+    def test_shared_series_swings_more_than_exclusive(self, study):
+        def relative_spread(series):
+            return (max(series) - min(series)) / np.mean(series)
+
+        # Shared VMs ride the full diurnal curve; pinned VMs see ~10%
+        # of it. The spreads must reflect that ordering decisively.
+        assert relative_spread(study.shared_p99) > (
+            2.0 * relative_spread(study.exclusive_p99))
+
+    def test_custom_hours(self, sim):
+        study = run_preemption_study(sim, n_vms=2_000, hours=6)
+        assert study.hours == list(range(6))
+        assert len(study.shared_p99) == len(study.shared_p999) == 6
+        assert len(study.exclusive_p99) == len(study.exclusive_p999) == 6
+
+    def test_minimum_population(self, sim):
+        with pytest.raises(ValueError, match="1000"):
+            run_preemption_study(sim, n_vms=999)
+
+    def test_deterministic_given_seed(self):
+        a = run_preemption_study(Simulator(seed=3), n_vms=2_000, hours=3)
+        b = run_preemption_study(Simulator(seed=3), n_vms=2_000, hours=3)
+        assert a.shared_p99 == b.shared_p99
+        assert a.exclusive_p999 == b.exclusive_p999
+
+
+class TestFig1Rows:
+    def test_rows_are_percent_scaled_and_aligned(self, study):
+        rows = study.fig1_rows()
+        assert len(rows) == 24
+        for i, row in enumerate(rows):
+            assert row["hour"] == i
+            assert row["shared_p99_percent"] == (
+                pytest.approx(study.shared_p99[i] * 100))
+            assert row["exclusive_p999_percent"] == (
+                pytest.approx(study.exclusive_p999[i] * 100))

@@ -1,0 +1,143 @@
+"""Deterministic merge layer: ordering, volatile stripping, aggregation."""
+
+import pytest
+
+from repro.parallel import (ChaosCampaignJob, ExperimentJob, JobResult,
+                            SeedSweepJob, bench_diff, merge_bench,
+                            merge_chaos, merge_sweep, strip_volatile)
+
+
+def _result(key, payload, events=None, wall=0.5):
+    return JobResult(key=key, payload=payload,
+                     events=events or {"events_popped": 10}, wall_s=wall)
+
+
+class TestStripVolatile:
+    def test_removes_wall_and_metadata_fields_recursively(self):
+        report = {
+            "total_wall_s": 1.0,
+            "timestamp": "now",
+            "git_commit": "abc",
+            "jobs": 8,
+            "experiments": {"fig9": {"wall_s": 0.5, "events": {"e": 1}}},
+        }
+        assert strip_volatile(report) == {
+            "experiments": {"fig9": {"events": {"e": 1}}}}
+
+    def test_original_untouched(self):
+        report = {"wall_s": 1.0, "keep": [1, 2]}
+        strip_volatile(report)
+        assert report == {"wall_s": 1.0, "keep": [1, 2]}
+
+
+class TestBenchDiff:
+    def test_equivalent_modulo_volatile(self):
+        a = {"seed": 0, "wall_s": 1.0, "experiments": {"f": {"events": {"e": 3}}}}
+        b = {"seed": 0, "wall_s": 9.9, "experiments": {"f": {"events": {"e": 3}}}}
+        assert bench_diff(a, b) == []
+
+    def test_reports_value_and_key_differences(self):
+        a = {"seed": 0, "x": {"e": 3}}
+        b = {"seed": 1, "x": {"e": 4}, "extra": True}
+        differences = bench_diff(a, b)
+        assert any("seed" in d for d in differences)
+        assert any("x.e" in d for d in differences)
+        assert any("extra" in d for d in differences)
+
+    def test_reports_list_differences(self):
+        assert bench_diff({"l": [1, 2]}, {"l": [1, 3]}) == ["l[1]: 2 != 3"]
+        assert bench_diff({"l": [1]}, {"l": [1, 2]}) == ["l: length 1 != 2"]
+
+
+class TestMergeBench:
+    def test_experiment_order_follows_jobs_not_completion(self):
+        jobs = [ExperimentJob("b_exp"), ExperimentJob("a_exp")]
+        results = {  # dict insertion order is completion order here
+            "experiment:a_exp:seed0": _result("experiment:a_exp:seed0", None),
+            "experiment:b_exp:seed0": _result("experiment:b_exp:seed0", None),
+        }
+        report, _ = merge_bench(jobs, results, {"seed": 0})
+        assert list(report["experiments"]) == ["b_exp", "a_exp"]
+        assert report["seed"] == 0
+        assert report["total_wall_s"] == pytest.approx(1.0)
+
+    def test_events_summed_within_experiment(self):
+        # Two ExperimentJobs with distinct seeds group under one name.
+        jobs = [ExperimentJob("e", seed=0), ExperimentJob("e", seed=1)]
+        results = {
+            jobs[0].key: _result(jobs[0].key, None, {"events_popped": 7}),
+            jobs[1].key: _result(jobs[1].key, None, {"events_popped": 5}),
+        }
+        report, _ = merge_bench(jobs, results, {})
+        assert report["experiments"]["e"]["events"] == {"events_popped": 12}
+
+
+class TestMergeChaos:
+    def _payload(self, seed, failed=False, plan=None):
+        entry = {"failed": failed, "n_faults": 2, "monitor_samples": 5}
+        if failed:
+            entry["shrink"] = {"minimal_faults": 1}
+        return {"seed": seed, "failed": failed, "entry": entry,
+                "minimized_plan": plan}
+
+    def test_campaigns_keyed_in_seed_order(self):
+        jobs = [ChaosCampaignJob(seed) for seed in (2, 0, 1)]
+        results = {job.key: _result(job.key, self._payload(job.seed))
+                   for job in jobs}
+        report, minimized, failures = merge_chaos(jobs, results, {"x": 1})
+        assert list(report["campaigns"]) == ["0", "1", "2"]
+        assert report["failures"] == 0 == failures
+        assert minimized == {}
+
+    def test_failures_counted_and_plans_collected(self):
+        jobs = [ChaosCampaignJob(0), ChaosCampaignJob(1)]
+        plan = {"json": "{}\n", "summary": "s", "describe": "d"}
+        results = {
+            jobs[0].key: _result(jobs[0].key, self._payload(0)),
+            jobs[1].key: _result(jobs[1].key,
+                                 self._payload(1, failed=True, plan=plan)),
+        }
+        report, minimized, failures = merge_chaos(jobs, results, {})
+        assert failures == 1
+        assert report["failures"] == 1
+        assert minimized == {1: plan}
+
+
+class TestMergeSweep:
+    def _payload(self, seed, passed=True, digest="d0", qps=100.0):
+        return {
+            "seed": seed, "experiment": "e", "passed": passed,
+            "checks_passed": 3 if passed else 2, "checks_total": 3,
+            "failed_checks": [] if passed else ["c"],
+            "row_count": 4, "rows_sha256": digest,
+            "metrics": {"qps": qps},
+        }
+
+    def test_rows_in_seed_order_with_aggregates(self):
+        jobs = [SeedSweepJob("e", seed) for seed in (1, 0, 2)]
+        results = {
+            jobs[0].key: _result(jobs[0].key, self._payload(1, qps=200.0)),
+            jobs[1].key: _result(jobs[1].key, self._payload(0, qps=100.0)),
+            jobs[2].key: _result(jobs[2].key, self._payload(2, qps=300.0)),
+        }
+        report = merge_sweep(jobs, results)
+        assert [row["seed"] for row in report["per_seed"]] == [0, 1, 2]
+        aggregate = report["aggregate"]
+        assert aggregate["n_seeds"] == 3
+        assert aggregate["all_passed"] is True
+        assert aggregate["distinct_row_digests"] == 1
+        assert aggregate["metrics"]["qps"]["mean"] == pytest.approx(200.0)
+        assert aggregate["metrics"]["qps"]["min"] == 100.0
+        assert aggregate["metrics"]["qps"]["max"] == 300.0
+
+    def test_failed_seed_flips_all_passed(self):
+        jobs = [SeedSweepJob("e", 0), SeedSweepJob("e", 1)]
+        results = {
+            jobs[0].key: _result(jobs[0].key, self._payload(0)),
+            jobs[1].key: _result(jobs[1].key,
+                                 self._payload(1, passed=False, digest="d1")),
+        }
+        aggregate = merge_sweep(jobs, results)["aggregate"]
+        assert aggregate["passed_seeds"] == 1
+        assert aggregate["all_passed"] is False
+        assert aggregate["distinct_row_digests"] == 2
