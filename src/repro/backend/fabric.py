@@ -36,6 +36,16 @@ class Nic:
         self.name = name
         self._port = Resource(sim, capacity=1)
         self.bytes_sent = 0
+        sim.register_participant(f"nic:{name}", self)
+
+    def snapshot_state(self) -> dict:
+        """Snapshot-protocol hook (see :mod:`repro.sim.snapshot`)."""
+        return {"bytes_sent": self.bytes_sent,
+                "port": self._port.snapshot_state()}
+
+    def restore_state(self, state: dict) -> None:
+        self.bytes_sent = state["bytes_sent"]
+        self._port.restore_state(state["port"])
 
     def serialization_time(self, nbytes: int) -> float:
         return nbytes * 8.0 / (self.gbps * 1e9)

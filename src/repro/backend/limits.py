@@ -50,8 +50,12 @@ class GuestLimiters:
     ``None`` buckets mean "no cap" (unrestricted profile).
     """
 
-    def __init__(self, sim, limits: RateLimits):
+    #: Bucket attributes in snapshot order.
+    _BUCKETS = ("pps", "net_bytes", "iops", "storage_bytes")
+
+    def __init__(self, sim, limits: RateLimits, name: Optional[str] = None):
         self.limits = limits
+        self.name = name
         self.pps: Optional[TokenBucket] = None
         self.net_bytes: Optional[TokenBucket] = None
         self.iops: Optional[TokenBucket] = None
@@ -66,6 +70,18 @@ class GuestLimiters:
         if limits.storage_mbps != UNLIMITED:
             rate = limits.storage_mbps * 1e6
             self.storage_bytes = TokenBucket(sim, rate=rate, burst=rate * 4e-3)
+        if name is not None:
+            sim.register_participant(f"limits:{name}", self)
+
+    def snapshot_state(self) -> dict:
+        """Snapshot-protocol hook: the fill level of every live bucket."""
+        return {attr: bucket.snapshot_state()
+                for attr in self._BUCKETS
+                if (bucket := getattr(self, attr)) is not None}
+
+    def restore_state(self, state: dict) -> None:
+        for attr, bucket_state in state.items():
+            getattr(self, attr).restore_state(bucket_state)
 
     def admit_packets(self, count: int, nbytes: int):
         """Process: wait for PPS + bandwidth tokens for a packet batch."""

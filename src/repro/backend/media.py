@@ -60,6 +60,16 @@ class Ssd:
         self._rng = sim.streams.get(f"ssd.{spec.name}")
         self.completed = 0
 
+    def snapshot_state(self) -> dict:
+        """Snapshot-protocol hook (the RNG stream travels with the
+        kernel's stream registry, not here)."""
+        return {"completed": self.completed,
+                "channels": self._channels.snapshot_state()}
+
+    def restore_state(self, state: dict) -> None:
+        self.completed = state["completed"]
+        self._channels.restore_state(state["channels"])
+
     def _service_time(self, nbytes: int, is_read: bool) -> float:
         base = self.spec.read_latency_s if is_read else self.spec.write_latency_s
         variation = float(self._rng.lognormal(mean=0.0, sigma=self.spec.latency_sigma))

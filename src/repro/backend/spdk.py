@@ -48,6 +48,7 @@ class SpdkStorage:
         self.completed = 0
         self._disconnected: Optional[Event] = None
         self.disconnects = 0
+        sim.register_participant(f"storage:{server_name}", self)
 
     # -- session state (fault injection / vhost-user reconnect) --------
     @property
@@ -65,6 +66,26 @@ class SpdkStorage:
         if self._disconnected is not None:
             gate, self._disconnected = self._disconnected, None
             gate.succeed()
+
+    def snapshot_state(self) -> dict:
+        """Snapshot-protocol hook: service counters plus media state.
+
+        A disconnected session implies blocked submitters (pending
+        events), which contradicts the quiescence precondition — so it
+        is rejected rather than captured.
+        """
+        if self._disconnected is not None:
+            raise RuntimeError(
+                f"storage for {self.server_name!r} is disconnected; "
+                "snapshots are taken at quiescence")
+        return {"completed": self.completed,
+                "disconnects": self.disconnects,
+                "ssd": self.ssd.snapshot_state()}
+
+    def restore_state(self, state: dict) -> None:
+        self.completed = state["completed"]
+        self.disconnects = state["disconnects"]
+        self.ssd.restore_state(state["ssd"])
 
     def submit(self, limiters: GuestLimiters, nbytes: int, is_read: bool):
         """Process: one guest block request end-to-end in the backend.

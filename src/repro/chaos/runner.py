@@ -171,12 +171,23 @@ class CampaignRunner:
         return max(spec.n_requests * spec.period_s,
                    self.config.horizon_s) + spec.tail_s
 
-    def run(self, seed: int, plan: Optional[FaultPlan] = None) -> CampaignOutcome:
-        """One full campaign: chaos run, baseline run, oracle verdict."""
+    def run(self, seed: int, plan: Optional[FaultPlan] = None,
+            checkpoint: bool = False) -> CampaignOutcome:
+        """One full campaign: chaos run, baseline run, oracle verdict.
+
+        With ``checkpoint=True`` each scenario exercises the kernel's
+        snapshot/restore protocol before executing: the freshly built
+        testbed is drained to parked quiescence at t=0, snapshotted,
+        rebuilt from scratch, and restored into the rebuilt testbed —
+        then the campaign proceeds normally. The outcome (and its
+        byte-stable report) must be identical to a straight-through
+        run; the chaos suite asserts exactly that.
+        """
         if plan is None:
             plan = self.generator.plan(seed)
-        chaos = self._run_scenario(seed, plan)
-        baseline = self._run_scenario(seed, FaultPlan.none())
+        chaos = self._run_scenario(seed, plan, checkpoint=checkpoint)
+        baseline = self._run_scenario(seed, FaultPlan.none(),
+                                      checkpoint=checkpoint)
         protected = DifferentialOracle.protected_guests(plan, self.guest_names)
         diffs = DifferentialOracle.compare(baseline.loads, chaos.loads,
                                            protected)
@@ -186,7 +197,25 @@ class CampaignRunner:
         )
 
     # -- one scenario --------------------------------------------------
-    def _run_scenario(self, seed: int, plan: FaultPlan) -> ScenarioContext:
+    def _run_scenario(self, seed: int, plan: FaultPlan,
+                      checkpoint: bool = False) -> ScenarioContext:
+        ctx = self._build_scenario(seed, plan)
+        if checkpoint:
+            # Drain the just-built testbed to parked quiescence at t=0
+            # (poll loops started by load.install() park on their
+            # doorbells), snapshot the kernel, rebuild the whole
+            # scenario from scratch, park the rebuild the same way, and
+            # restore the snapshot into it. From here on the rebuilt
+            # scenario must be indistinguishable from the original.
+            ctx.sim.run()
+            snap = ctx.sim.snapshot()
+            ctx = self._build_scenario(seed, plan)
+            ctx.sim.run()
+            ctx.sim.restore(snap, restore_stats=True)
+        self._execute_scenario(ctx)
+        return ctx
+
+    def _build_scenario(self, seed: int, plan: FaultPlan) -> ScenarioContext:
         spec = self.scenario
         sim = Simulator(seed=seed)
         server = BmHiveServer(sim)
@@ -236,12 +265,13 @@ class CampaignRunner:
             monitors.extend(self.extra_monitors(ctx))
         suite = MonitorSuite(sim, monitors, period_s=spec.monitor_period_s)
         ctx.suite = suite
-
-        injector.arm(server)
-        suite.start()
-        for name, load in loads.items():
-            sim.spawn(load.run(), name=f"load.{name}")
-        sim.run(until=self.until_s())
-        accounting.finalize()
-        suite.finish()
         return ctx
+
+    def _execute_scenario(self, ctx: ScenarioContext) -> None:
+        ctx.injector.arm(ctx.server)
+        ctx.suite.start()
+        for name, load in ctx.loads.items():
+            ctx.sim.spawn(load.run(), name=f"load.{name}")
+        ctx.sim.run(until=self.until_s())
+        ctx.accounting.finalize()
+        ctx.suite.finish()

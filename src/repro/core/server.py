@@ -116,7 +116,7 @@ class BmHiveServer:
         guest.blk_device = blk_device
         guest.firmware = EfiFirmware(self.sim)
         guest.image = image
-        limiters = GuestLimiters(self.sim, limits)
+        limiters = GuestLimiters(self.sim, limits, name=name)
         guest.limiters = limiters
 
         port_name = f"{name}.net"
@@ -133,19 +133,18 @@ class BmHiveServer:
         return guest
 
     # -- full-fidelity boot (used by examples and integration tests) -------
-    def boot_guest(self, guest: BmGuest, image: VmImage):
-        """Process: boot ``guest`` from ``image`` through the real rings.
+    def make_blk_handler(self, guest: BmGuest, image: VmImage):
+        """Backend handler for ``guest``'s virtio-blk queue 0.
 
-        Runs the whole Fig 6 machinery: the firmware posts virtio-blk
-        reads, kicks through IO-Bond's emulated PCI function, the
-        bm-hypervisor's poll loop services the shadow vring against
-        cloud storage, and completions DMA back with an MSI.
+        Each shadow-vring entry becomes a storage read serviced against
+        ``image``: SPDK submit through the guest's rate limiters, sector
+        payload assembly, completion write-back, and the IO-Bond DMA +
+        MSI delivery. Factored out of :meth:`boot_guest` so a warm-start
+        rebuild (:meth:`attach_booted_guest`) installs the *same* data
+        plane a booted server has.
         """
-        blk = guest.blk_device
         bond = guest.bond
         port = bond.port("blk")
-        hypervisor = guest.hypervisor
-        full_init(blk)
 
         def handle_blk(entry):
             header = BlkRequestHeader.unpack(entry.payload)
@@ -165,7 +164,44 @@ class BmHiveServer:
 
             return service()
 
-        hypervisor.register_handler("blk", 0, handle_blk)
+        return handle_blk
+
+    def attach_booted_guest(self, guest: BmGuest, image: VmImage) -> None:
+        """Wire the post-boot data plane without running the boot.
+
+        The structural side effects of :meth:`boot_guest` — device
+        init handshake, blk handler registration, poll-loop start —
+        are re-applied here so a rebuilt server shell matches a booted
+        one object-for-object. Time-dependent state (clock, RNG
+        streams, token-bucket levels, the hypervisor's life-cycle
+        position and doorbell anchor) is *not* touched: that is what
+        :meth:`repro.sim.Simulator.restore` applies afterwards. Shadow
+        vrings are deliberately absent from the rebuilt shell — IO-Bond
+        creates them on the first guest kick, and a parked poll loop
+        treats a missing shadow exactly like a drained one (see
+        DESIGN.md, snapshot scope).
+        """
+        full_init(guest.blk_device)
+        guest.hypervisor.register_handler(
+            "blk", 0, self.make_blk_handler(guest, image))
+        guest.hypervisor.start()
+        guest.image = image
+
+    def boot_guest(self, guest: BmGuest, image: VmImage):
+        """Process: boot ``guest`` from ``image`` through the real rings.
+
+        Runs the whole Fig 6 machinery: the firmware posts virtio-blk
+        reads, kicks through IO-Bond's emulated PCI function, the
+        bm-hypervisor's poll loop services the shadow vring against
+        cloud storage, and completions DMA back with an MSI.
+        """
+        blk = guest.blk_device
+        bond = guest.bond
+        port = bond.port("blk")
+        hypervisor = guest.hypervisor
+        full_init(blk)
+
+        hypervisor.register_handler("blk", 0, self.make_blk_handler(guest, image))
         hypervisor.mark_booting()
         hypervisor.start()
 
@@ -243,7 +279,7 @@ class VirtServer:
             kernel_spec=guest_spec.kernel,
         )
         guest.image = image
-        limiters = GuestLimiters(self.sim, limits)
+        limiters = GuestLimiters(self.sim, limits, name=name)
         guest.limiters = limiters
 
         port_name = f"{name}.net"

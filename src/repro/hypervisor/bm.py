@@ -77,6 +77,10 @@ class BmHypervisor:
         # Fired with this hypervisor after a crash; the fault
         # supervisor subscribes to drive detection/restart.
         self.on_crash: Optional[Callable[["BmHypervisor"], None]] = None
+        # Snapshot rebuild protocol: a rebuilt server re-creates this
+        # hypervisor under the same guest name, so the key collides on
+        # purpose (register_participant is last-writer-wins).
+        sim.register_participant(f"bmhv:{guest_name}", self)
 
     # -- life cycle -----------------------------------------------------------
     def power_on(self, board) -> None:
@@ -203,6 +207,24 @@ class BmHypervisor:
                 else:
                     self.sim.stats.idle_poll_events += 1
                     yield self.sim.timeout(self.spec.poll_interval_s)
+
+    # -- snapshot rebuild protocol ---------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Life-cycle position, service counters, and the poll grid."""
+        return {
+            "state": self.state.value,
+            "entries_handled": self.entries_handled,
+            "pci_requests_handled": self.pci_requests_handled,
+            "crashed": self.crashed,
+            "doorbell": self.doorbell.snapshot_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.state = GuestState(state["state"])
+        self.entries_handled = state["entries_handled"]
+        self.pci_requests_handled = state["pci_requests_handled"]
+        self.crashed = state["crashed"]
+        self.doorbell.restore_state(state["doorbell"])
 
     def stop(self) -> None:
         if self._poll_process is not None and self._poll_process.is_alive:

@@ -13,13 +13,14 @@ from __future__ import annotations
 
 import copy
 import sys
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.parallel.jobs import (ChaosCampaignJob, ExperimentShardJob,
                                  JobResult, SeedSweepJob)
 
 __all__ = [
     "VOLATILE_KEYS",
+    "WALL_KEYS",
     "strip_volatile",
     "bench_diff",
     "merge_bench",
@@ -40,6 +41,10 @@ VOLATILE_KEYS = frozenset({
     "attempts",
 })
 
+# The wall-clock subset of VOLATILE_KEYS: with a tolerance these are
+# *compared* (within a relative bound) instead of ignored.
+WALL_KEYS = frozenset({"wall_s", "total_wall_s", "elapsed_wall_s"})
+
 
 def strip_volatile(report: dict) -> dict:
     """Deep-copy ``report`` with every volatile field removed."""
@@ -55,21 +60,57 @@ def strip_volatile(report: dict) -> dict:
     return scrub(copy.deepcopy(report))
 
 
-def bench_diff(a: dict, b: dict) -> List[str]:
+def bench_diff(a: dict, b: dict,
+               wall_tolerance: Optional[float] = None,
+               ignore_keys: Iterable[str] = (),
+               wall_floor_s: float = 0.0) -> List[str]:
     """Differences between two BENCH reports modulo volatile fields.
 
     Returns human-readable difference lines; empty means equivalent.
+
+    With ``wall_tolerance`` (a relative fraction, e.g. ``0.25`` for
+    25%), the wall-clock fields are no longer ignored: each pair must
+    agree within ``tolerance * max(|a|, |b|)``. That turns the
+    comparison from "identical modulo wall time" into "identical, and
+    no slower than X%" — the regression gate
+    ``scripts/diff_bench.py --tolerance`` exposes.
+
+    ``ignore_keys`` adds report keys to the ignored set. The CI
+    heap-vs-calendar gate passes ``bucket_overflows`` — the one
+    counter that legitimately depends on the queue implementation
+    (heaps have no buckets) — so everything else must still match.
+
+    ``wall_floor_s`` is an absolute noise floor for the tolerance
+    comparison: wall differences below it always pass. A relative
+    bound alone is meaningless for millisecond-scale experiments,
+    where scheduler jitter routinely exceeds any sane percentage.
     """
     differences: List[str] = []
+    ignored = VOLATILE_KEYS if wall_tolerance is None else (
+        VOLATILE_KEYS - WALL_KEYS)
+    if ignore_keys:
+        ignored = ignored | frozenset(ignore_keys)
 
     def walk(path: str, left, right) -> None:
         if isinstance(left, dict) and isinstance(right, dict):
             for key in sorted(set(left) | set(right)):
+                if key in ignored:
+                    continue
                 child = f"{path}.{key}" if path else key
                 if key not in left:
                     differences.append(f"{child}: only in second")
                 elif key not in right:
                     differences.append(f"{child}: only in first")
+                elif (key in WALL_KEYS and wall_tolerance is not None
+                      and isinstance(left[key], (int, float))
+                      and isinstance(right[key], (int, float))):
+                    l, r = left[key], right[key]
+                    limit = max(wall_tolerance * max(abs(l), abs(r), 1e-9),
+                                wall_floor_s)
+                    if abs(l - r) > limit:
+                        differences.append(
+                            f"{child}: {l!r} vs {r!r} differs by more "
+                            f"than {wall_tolerance:.0%}")
                 else:
                     walk(child, left[key], right[key])
         elif isinstance(left, list) and isinstance(right, list):
@@ -82,7 +123,7 @@ def bench_diff(a: dict, b: dict) -> List[str]:
         elif left != right:
             differences.append(f"{path}: {left!r} != {right!r}")
 
-    walk("", strip_volatile(a), strip_volatile(b))
+    walk("", a, b)
     return differences
 
 
@@ -110,8 +151,10 @@ def merge_bench(jobs: Iterable, results: Dict[str, JobResult],
 
     ``jobs`` is the submitted job list (``ExperimentJob`` and
     ``ExperimentShardJob`` mixed); shard events and wall times are
-    summed per experiment — the same totals a serial in-process run
-    accumulates — and shard payloads are merged back into one
+    folded per experiment — counters sum, but ``queue_len_max`` is a
+    high-water mark and aggregates by max, exactly like
+    :func:`repro.sim.global_event_totals` folds multiple simulators —
+    and shard payloads are merged back into one
     :class:`~repro.experiments.base.ExperimentResult` per experiment.
 
     Returns ``(report, experiment_results)``.
@@ -138,7 +181,10 @@ def merge_bench(jobs: Iterable, results: Dict[str, JobResult],
             result = results[job.key]
             wall += result.wall_s
             for counter, value in result.events.items():
-                events[counter] = events.get(counter, 0) + value
+                if counter == "queue_len_max":
+                    events[counter] = max(events.get(counter, 0), value)
+                else:
+                    events[counter] = events.get(counter, 0) + value
             if isinstance(job, ExperimentShardJob):
                 shard_payloads.append((job.shard, result.payload))
             else:

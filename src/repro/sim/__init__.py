@@ -9,12 +9,15 @@ latency/throughput collectors.
 from repro.sim.core import (
     AuditReport,
     EventStats,
+    KernelSnapshot,
     QuiescenceError,
     Simulator,
+    SnapshotError,
     global_event_totals,
     reset_global_stats,
 )
 from repro.sim.doorbell import Doorbell, idle_skip_default, set_idle_skip_default
+from repro.sim.queue import CalendarQueue, HeapQueue, default_queue_kind, make_queue
 from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
 from repro.sim.process import Process
 from repro.sim.resources import Resource, Store, TokenBucket
@@ -35,6 +38,12 @@ __all__ = [
     "EventStats",
     "AuditReport",
     "QuiescenceError",
+    "KernelSnapshot",
+    "SnapshotError",
+    "HeapQueue",
+    "CalendarQueue",
+    "make_queue",
+    "default_queue_kind",
     "Doorbell",
     "idle_skip_default",
     "set_idle_skip_default",

@@ -160,3 +160,18 @@ class Doorbell:
     def cancel(self) -> None:
         """Forget the parked event (loop shutdown); pending rings no-op."""
         self._parked = None
+
+    def snapshot_state(self) -> dict:
+        """Snapshot-protocol hook (see :mod:`repro.sim.snapshot`).
+
+        The anchor is the whole story: a parked loop's future wake grid
+        is the chain ``anchor+i, (anchor+i)+i, ...``, so restoring the
+        anchor into a rebuilt (and re-parked) doorbell makes the next
+        ring land on exactly the tick the original run would have used.
+        The parked event itself is rebuilt by the shell's own
+        run-to-park; only the grid origin needs to travel.
+        """
+        return {"anchor": self._anchor, "parked": self.is_parked}
+
+    def restore_state(self, state: dict) -> None:
+        self._anchor = state["anchor"]

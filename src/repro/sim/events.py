@@ -25,7 +25,6 @@ it directly when the event pops (see ``Simulator.step``).
 
 from __future__ import annotations
 
-import heapq
 from typing import Any, Callable, List, Optional
 
 __all__ = [
@@ -106,8 +105,7 @@ class Event:
         self._ok = True
         self._value = value
         self._state = TRIGGERED
-        sim = self.sim
-        heapq.heappush(sim._heap, (sim._now, next(sim._counter), self))
+        self.sim._schedule(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -122,8 +120,7 @@ class Event:
         self._ok = False
         self._value = exception
         self._state = TRIGGERED
-        sim = self.sim
-        heapq.heappush(sim._heap, (sim._now, next(sim._counter), self))
+        self.sim._schedule(self)
         return self
 
     # -- kernel hooks ----------------------------------------------------
@@ -162,7 +159,8 @@ class Timeout(Event):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
         # Inlined Event.__init__ plus immediate scheduling: this runs
-        # millions of times per experiment.
+        # millions of times per experiment. Scheduling goes through the
+        # simulator API — the queue representation is core.py's alone.
         self.sim = sim
         self.callbacks = None
         self._value = value
@@ -170,7 +168,7 @@ class Timeout(Event):
         self._state = TRIGGERED
         self._waiter = None
         self.delay = delay
-        heapq.heappush(sim._heap, (sim._now + delay, next(sim._counter), self))
+        sim._schedule(self, delay)
 
 
 class _Condition(Event):

@@ -24,7 +24,6 @@ straight to PROCESSED, and late joiners resume inline.
 
 from __future__ import annotations
 
-import heapq
 from typing import Any, Generator, Optional
 
 from repro.sim.events import PENDING, PROCESSED, TRIGGERED, Event, Interrupt
@@ -59,7 +58,7 @@ class Process(Event):
         else:
             self._target = None
             start.add_callback(self._resume)
-        heapq.heappush(sim._heap, (sim._now, next(sim._counter), start))
+        sim._schedule(start)
 
     @property
     def is_alive(self) -> bool:
@@ -128,7 +127,7 @@ class Process(Event):
                 self._state = PROCESSED
             else:
                 self._state = TRIGGERED
-                heapq.heappush(sim._heap, (sim._now, next(sim._counter), self))
+                sim._schedule(self)
             return
         except BaseException as exc:  # propagate to joiners
             self._target = None

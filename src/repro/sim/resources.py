@@ -89,6 +89,22 @@ class Resource:
         else:
             self.in_use -= 1
 
+    def snapshot_state(self) -> dict:
+        """Snapshot-protocol hook (see :mod:`repro.sim.snapshot`).
+
+        Only the slot count is state; waiter queues must be empty at a
+        quiescent point (a queued waiter implies a pending event), so
+        they are asserted, not captured.
+        """
+        if self._waiters:
+            raise RuntimeError(
+                f"resource {self.label!r} has queued waiters; snapshots "
+                "are taken at quiescence")
+        return {"in_use": self.in_use}
+
+    def restore_state(self, state: dict) -> None:
+        self.in_use = state["in_use"]
+
     def withdraw(self, event: Event) -> None:
         """Abandon a request whose waiter was interrupted.
 
@@ -240,6 +256,26 @@ class TokenBucket:
         if self._tokens >= amount:
             return 0.0
         return (amount - self._tokens) / self.rate
+
+    def snapshot_state(self) -> dict:
+        """Snapshot-protocol hook: fill level and refill bookkeeping.
+
+        ``rate``/``burst`` are captured too so a restore after a
+        mid-run ``set_rate`` (brownout fault) reproduces the changed
+        configuration, not the construction-time one.
+        """
+        return {
+            "rate": self.rate,
+            "burst": self.burst,
+            "tokens": self._tokens,
+            "last_refill": self._last_refill,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.rate = state["rate"]
+        self.burst = state["burst"]
+        self._tokens = state["tokens"]
+        self._last_refill = state["last_refill"]
 
     def consume(self, amount: float = 1.0):
         """Process helper: generator that waits for and consumes tokens.

@@ -42,3 +42,26 @@ class RandomStreams:
 
     def __len__(self) -> int:
         return len(self._streams)
+
+    # -- snapshot support ------------------------------------------------
+    def state(self) -> dict:
+        """Bit-generator state of every stream created so far.
+
+        The returned mapping contains only plain ints/strings (numpy's
+        ``bit_generator.state`` contract), so it pickles and JSON-
+        serializes; it is what :meth:`repro.sim.Simulator.snapshot`
+        stores.
+        """
+        return {name: gen.bit_generator.state
+                for name, gen in self._streams.items()}
+
+    def restore(self, states: dict) -> None:
+        """Set stream states captured by :meth:`state`.
+
+        Streams absent from this registry are created first (same
+        derived sub-seed, then overwritten), so a freshly rebuilt
+        simulation can adopt the states of streams it has not drawn
+        from yet.
+        """
+        for name, state in states.items():
+            self.get(name).bit_generator.state = state

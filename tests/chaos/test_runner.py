@@ -63,6 +63,26 @@ class TestCampaignRun:
         assert outcome.baseline.suite.samples == outcome.chaos.suite.samples
 
 
+class TestCheckpoint:
+    def test_checkpointed_campaign_report_byte_identical(self, outcome):
+        """snapshot -> rebuild -> restore -> run == straight through.
+
+        ``checkpoint=True`` drains each freshly built scenario to
+        parked quiescence at t=0, snapshots the kernel, rebuilds the
+        whole testbed from scratch, and restores before executing the
+        campaign — the byte-stable report must not notice.
+        """
+        check = _quick_runner().run(seed=3, checkpoint=True)
+        assert check.report_json() == outcome.report_json()
+
+    def test_checkpoint_with_faulty_campaign(self):
+        probe = lambda ctx: [RegressionProbeMonitor(ctx.injector)]
+        straight = _quick_runner(extra_monitors=probe).run(seed=1)
+        check = _quick_runner(extra_monitors=probe).run(seed=1,
+                                                        checkpoint=True)
+        assert check.report_json() == straight.report_json()
+
+
 class TestRunnerConfig:
     def test_bystander_in_targets_rejected(self):
         with pytest.raises(ValueError, match="bystander"):

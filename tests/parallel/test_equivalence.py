@@ -65,7 +65,15 @@ class TestShardedChaosCampaign:
         summed = {}
         for result in parallel.values():
             for counter, value in result.events.items():
-                summed[counter] = summed.get(counter, 0) + value
+                if counter == "queue_len_max":
+                    # High-water mark: aggregates by max, not sum
+                    # (mirrors global_event_totals).
+                    summed[counter] = max(summed.get(counter, 0), value)
+                else:
+                    summed[counter] = summed.get(counter, 0) + value
+        # Shards partition the scenarios exactly, so every summable
+        # counter adds up and the max-of-maxes equals the serial
+        # high-water mark (each scenario runs in its own simulator).
         assert summed == serial["experiment:chaos_campaign:seed0"].events
 
 

@@ -49,6 +49,55 @@ class TestBenchDiff:
         assert bench_diff({"l": [1]}, {"l": [1, 2]}) == ["l: length 1 != 2"]
 
 
+class TestWallTolerance:
+    def _pair(self, a_wall, b_wall):
+        a = {"total_wall_s": a_wall, "timestamp": "x",
+             "experiments": {"f": {"wall_s": a_wall / 2, "events": {"e": 1}}}}
+        b = {"total_wall_s": b_wall, "timestamp": "y",
+             "experiments": {"f": {"wall_s": b_wall / 2, "events": {"e": 1}}}}
+        return a, b
+
+    def test_within_tolerance_passes(self):
+        a, b = self._pair(1.0, 1.2)
+        assert bench_diff(a, b, wall_tolerance=0.25) == []
+
+    def test_beyond_tolerance_reported(self):
+        a, b = self._pair(1.0, 2.0)
+        differences = bench_diff(a, b, wall_tolerance=0.25)
+        assert len(differences) == 2
+        assert all("differs by more than 25%" in d for d in differences)
+
+    def test_tolerance_still_ignores_metadata(self):
+        a, b = self._pair(1.0, 1.0)
+        a["git_commit"], b["git_commit"] = "abc", "def"
+        assert bench_diff(a, b, wall_tolerance=0.0) == []
+
+    def test_zero_tolerance_requires_exact_wall(self):
+        a, b = self._pair(1.0, 1.0001)
+        assert bench_diff(a, b, wall_tolerance=0.0) != []
+        assert bench_diff(a, a, wall_tolerance=0.0) == []
+
+    def test_non_volatile_differences_still_reported(self):
+        a, b = self._pair(1.0, 1.0)
+        b["experiments"]["f"]["events"]["e"] = 2
+        differences = bench_diff(a, b, wall_tolerance=0.25)
+        assert differences == ["experiments.f.events.e: 1 != 2"]
+
+    def test_wall_floor_absorbs_small_absolute_differences(self):
+        # 3ms vs 15ms is 5x relative but pure scheduler jitter; an
+        # absolute floor lets the gate focus on substantial runs.
+        a, b = self._pair(0.006, 0.030)
+        assert bench_diff(a, b, wall_tolerance=0.25) != []
+        assert bench_diff(a, b, wall_tolerance=0.25, wall_floor_s=0.25) == []
+
+    def test_ignore_keys_extends_the_ignored_set(self):
+        a, b = self._pair(1.0, 1.0)
+        a["experiments"]["f"]["events"]["bucket_overflows"] = 0
+        b["experiments"]["f"]["events"]["bucket_overflows"] = 1680
+        assert bench_diff(a, b) != []
+        assert bench_diff(a, b, ignore_keys=("bucket_overflows",)) == []
+
+
 class TestMergeBench:
     def test_experiment_order_follows_jobs_not_completion(self):
         jobs = [ExperimentJob("b_exp"), ExperimentJob("a_exp")]
@@ -69,7 +118,22 @@ class TestMergeBench:
             jobs[1].key: _result(jobs[1].key, None, {"events_popped": 5}),
         }
         report, _ = merge_bench(jobs, results, {})
-        assert report["experiments"]["e"]["events"] == {"events_popped": 12}
+        assert report["experiments"]["e"]["events"]["events_popped"] == 12
+
+    def test_queue_len_max_folds_as_high_water_mark(self):
+        # queue_len_max is a depth high-water mark, not traffic: two
+        # shards with maxima 40 and 25 merge to 40, never 65 (mirrors
+        # global_event_totals across simulators).
+        jobs = [ExperimentJob("e", seed=0), ExperimentJob("e", seed=1)]
+        results = {
+            jobs[0].key: _result(jobs[0].key, None,
+                                 {"events_popped": 7, "queue_len_max": 40}),
+            jobs[1].key: _result(jobs[1].key, None,
+                                 {"events_popped": 5, "queue_len_max": 25}),
+        }
+        report, _ = merge_bench(jobs, results, {})
+        assert report["experiments"]["e"]["events"] == {
+            "events_popped": 12, "queue_len_max": 40}
 
 
 class TestMergeChaos:

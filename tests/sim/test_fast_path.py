@@ -66,7 +66,21 @@ class TestEventStats:
         assert set(d) == {
             "events_popped", "fast_path_hits", "idle_poll_events",
             "doorbell_parks", "doorbell_rings", "idle_polls_skipped",
+            "events_pushed", "queue_len_max", "queue_len_sum",
+            "bucket_overflows",
         }
+
+    def test_queue_depth_counters_track_traffic(self, sim):
+        def proc(sim):
+            yield sim.timeout(1.0)
+            yield sim.timeout(2.0)
+
+        sim.spawn(proc(sim))
+        sim.run()
+        d = sim.stats.as_dict()
+        assert d["events_pushed"] == d["events_popped"] == 3
+        assert d["queue_len_max"] >= 1
+        assert d["queue_len_sum"] >= d["events_popped"]
 
 
 class TestFastLaneSemantics:
@@ -213,7 +227,7 @@ class TestDoorbell:
         bell.park()
         bell.ring()
         bell.ring()
-        assert len(sim._heap) == 1
+        assert len(sim._queue) == 1
 
     def test_invalid_interval_rejected(self, sim):
         with pytest.raises(ValueError):
