@@ -80,12 +80,23 @@ import subprocess
 import sys
 import time
 
+from repro.config.profile import HardwareProfile, spec_to_dict
 from repro.experiments import ALL_EXPERIMENTS
 from repro.parallel import (ExperimentJob, ExperimentShardJob, is_shardable,
                             merge_bench, run_suite)
 from repro.sim import idle_skip_default
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _queue_config() -> dict:
+    """The suite's queue shape (QueueSpec of the default profile).
+
+    Recorded in the report header so ``diff_bench`` can refuse to
+    compare reports produced under different multi-queue datapath
+    configurations instead of silently diffing their rows.
+    """
+    return spec_to_dict(HardwareProfile.paper().queues)
 
 
 def _git_commit() -> str:
@@ -182,6 +193,7 @@ def run(names=None, seed: int = 0, quick: bool = True, outdir: str = ".",
         "idle_skip": idle_skip_default(),
         "seed": seed,
         "quick": quick,
+        "queue_config": _queue_config(),
     }
     report, experiment_results = merge_bench(job_list, results, header)
     report["elapsed_wall_s"] = round(time.perf_counter() - start, 6)
@@ -260,6 +272,7 @@ def run_warm_start(names=None, seed: int = 0, quick: bool = True,
         "idle_skip": idle_skip_default(),
         "seed": seed,
         "quick": quick,
+        "queue_config": _queue_config(),
         "mode": "warm-start",
         "experiments": {},
     }

@@ -61,7 +61,9 @@ class DpdkVSwitch:
     """The per-server software switch, running PMD on base/host cores."""
 
     def __init__(self, sim, spec: DpdkSpec = DpdkSpec(), name: str = "vswitch",
-                 poll_mode: bool = True):
+                 poll_mode: bool = True, n_workers: int = 1):
+        if n_workers < 1:
+            raise ValueError(f"need at least one PMD worker, got {n_workers}")
         self.sim = sim
         self.spec = spec
         self.name = name
@@ -70,8 +72,43 @@ class DpdkVSwitch:
         self.forwarding = ForwardingPlane(sim)
         self.forwarded_packets = 0
         self.dropped_packets = 0
+        # Round-robin PMD worker sharding: bursts from queue k land on
+        # lcore k % n_workers. Per-worker burst/packet counters expose
+        # the spread; PMD cores are run-to-completion, so like SPDK's
+        # reactors the shard map is a cursor, not a lock.
+        self.n_workers = n_workers
+        self.worker_bursts = [0] * n_workers
+        self.worker_packets = [0] * n_workers
         self._disconnected: Optional[Event] = None
         self.disconnects = 0
+        sim.register_participant(f"vswitch:{name}", self)
+
+    def worker_for_queue(self, queue_index: int) -> int:
+        """Round-robin shard map: virtqueue index -> PMD lcore."""
+        if queue_index < 0:
+            raise ValueError(f"queue_index must be >= 0, got {queue_index}")
+        return queue_index % self.n_workers
+
+    # -- snapshot rebuild protocol --------------------------------------
+    def snapshot_state(self) -> dict:
+        """Forwarding counters and the per-worker shard cursors."""
+        if self._disconnected is not None:
+            raise RuntimeError(
+                f"vswitch {self.name!r} is disconnected; snapshots are "
+                "taken at quiescence")
+        return {"forwarded_packets": self.forwarded_packets,
+                "dropped_packets": self.dropped_packets,
+                "disconnects": self.disconnects,
+                "worker_bursts": list(self.worker_bursts),
+                "worker_packets": list(self.worker_packets)}
+
+    def restore_state(self, state: dict) -> None:
+        self.forwarded_packets = state["forwarded_packets"]
+        self.dropped_packets = state["dropped_packets"]
+        self.disconnects = state["disconnects"]
+        if len(state["worker_bursts"]) == self.n_workers:
+            self.worker_bursts = list(state["worker_bursts"])
+            self.worker_packets = list(state["worker_packets"])
 
     # -- session state (fault injection / vhost-user reconnect) --------
     @property
@@ -115,18 +152,23 @@ class DpdkVSwitch:
         del self.ports[name]
 
     def switch_burst(self, src_port: str, n_packets: int, nbytes: int,
-                     dst_port: Optional[str] = None):
+                     dst_port: Optional[str] = None, queue_index: int = 0):
         """Process: switch a burst from ``src_port``.
 
         Applies the source guest's PPS/bandwidth limiters, charges the
         PMD processing time, and (for intra-server traffic) hands the
         burst to the destination port. Returns the number delivered.
+        ``queue_index`` names the originating virtqueue; the burst is
+        accounted to its round-robin PMD worker.
         """
         src = self.port(src_port)
+        worker = self.worker_for_queue(queue_index)
         while self._disconnected is not None:
             yield self._disconnected
         yield from src.limiters.admit_packets(n_packets, nbytes)
         yield self.sim.timeout(self.spec.burst_time(n_packets, self.poll_mode))
+        self.worker_bursts[worker] += 1
+        self.worker_packets[worker] += n_packets
         src.tx_packets += n_packets
         src.tx_bytes += nbytes
         self.forwarded_packets += n_packets

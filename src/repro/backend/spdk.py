@@ -38,7 +38,9 @@ class SpdkStorage:
 
     def __init__(self, sim, fabric: Fabric, server_name: str,
                  spec: SpdkSpec = SpdkSpec(), media: SsdSpec = CLOUD_SSD,
-                 remote: bool = True):
+                 remote: bool = True, n_workers: int = 1):
+        if n_workers < 1:
+            raise ValueError(f"need at least one worker, got {n_workers}")
         self.sim = sim
         self.fabric = fabric
         self.server_name = server_name
@@ -46,9 +48,23 @@ class SpdkStorage:
         self.remote = remote
         self.ssd = Ssd(sim, media)
         self.completed = 0
+        # Queue-affine worker sharding: submissions from virtqueue k go
+        # to poll-mode worker k % n_workers. Workers are non-blocking
+        # (SPDK reactors never sleep inside a request), so sharding is
+        # a bookkeeping cursor, not a serialization point — the media
+        # and fabric resources stay the contended stages.
+        self.n_workers = n_workers
+        self.worker_submitted = [0] * n_workers
+        self.worker_completed = [0] * n_workers
         self._disconnected: Optional[Event] = None
         self.disconnects = 0
         sim.register_participant(f"storage:{server_name}", self)
+
+    def worker_for_queue(self, queue_index: int) -> int:
+        """Queue-affine shard map: virtqueue index -> reactor worker."""
+        if queue_index < 0:
+            raise ValueError(f"queue_index must be >= 0, got {queue_index}")
+        return queue_index % self.n_workers
 
     # -- session state (fault injection / vhost-user reconnect) --------
     @property
@@ -80,21 +96,32 @@ class SpdkStorage:
                 "snapshots are taken at quiescence")
         return {"completed": self.completed,
                 "disconnects": self.disconnects,
+                "worker_submitted": list(self.worker_submitted),
+                "worker_completed": list(self.worker_completed),
                 "ssd": self.ssd.snapshot_state()}
 
     def restore_state(self, state: dict) -> None:
         self.completed = state["completed"]
         self.disconnects = state["disconnects"]
+        submitted = state.get("worker_submitted")
+        if submitted is not None and len(submitted) == self.n_workers:
+            self.worker_submitted = list(submitted)
+            self.worker_completed = list(state["worker_completed"])
         self.ssd.restore_state(state["ssd"])
 
-    def submit(self, limiters: GuestLimiters, nbytes: int, is_read: bool):
+    def submit(self, limiters: GuestLimiters, nbytes: int, is_read: bool,
+               queue_index: int = 0):
         """Process: one guest block request end-to-end in the backend.
 
         Admission through the guest's IOPS/bandwidth buckets, fabric
         transit (for remote cloud storage), media service, and the
         return trip. Returns the backend-side service latency.
+        ``queue_index`` selects the queue-affine reactor worker that
+        owns the submission (cursor bookkeeping only; see ``__init__``).
         """
         start = self.sim.now
+        worker = self.worker_for_queue(queue_index)
+        self.worker_submitted[worker] += 1
         while self._disconnected is not None:
             yield self._disconnected
         yield from limiters.admit_io(1, nbytes)
@@ -118,4 +145,5 @@ class SpdkStorage:
             return_delay += self.fabric.from_storage_time(response_bytes)
         yield self.sim.timeout(return_delay)
         self.completed += 1
+        self.worker_completed[worker] += 1
         return self.sim.now - start

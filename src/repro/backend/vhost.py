@@ -38,15 +38,34 @@ class VhostUserMessage:
 
 
 class VhostUserBackend:
-    """The backend half: records ring/memory state from the frontend."""
+    """The backend half: records ring/memory state from the frontend.
 
-    def __init__(self, features: int = 0xFFFF_FFFF):
+    ``n_workers`` shards the rings over poll-mode worker threads the
+    way DPDK's vhost library pins virtqueues to lcores: ring ``i`` is
+    serviced by worker ``i % n_workers`` (queue-affine, so per-ring
+    ordering is preserved across reconnects).
+    """
+
+    def __init__(self, features: int = 0xFFFF_FFFF, n_workers: int = 1):
+        if n_workers < 1:
+            raise ValueError(f"need at least one worker, got {n_workers}")
         self.supported_features = features
+        self.n_workers = n_workers
         self.acked_features: Optional[int] = None
         self.owner_set = False
         self.mem_table: Optional[Dict] = None
         self.rings: Dict[int, Dict] = {}
         self.log: List[VhostUserMessage] = []
+
+    def worker_for_ring(self, index: int) -> int:
+        """Queue-affine shard map: ring index -> worker thread."""
+        if index < 0:
+            raise ValueError(f"ring index must be >= 0, got {index}")
+        return index % self.n_workers
+
+    def ring_workers(self) -> Dict[int, int]:
+        """Current ring -> worker assignment (for state capture)."""
+        return {index: self.worker_for_ring(index) for index in self.rings}
 
     def handle(self, message: VhostUserMessage):
         """Process one control message; returns a reply payload or None."""

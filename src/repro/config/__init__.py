@@ -18,6 +18,7 @@ from repro.config.profile import (
     GuestSpec,
     HardwareProfile,
     PollSpec,
+    QueueSpec,
     spec_from_dict,
     spec_to_dict,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "BackendSpec",
     "GuestSpec",
     "PollSpec",
+    "QueueSpec",
     "spec_to_dict",
     "spec_from_dict",
     "PcieLinkSpec",

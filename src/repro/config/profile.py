@@ -47,6 +47,7 @@ __all__ = [
     "BackendSpec",
     "GuestSpec",
     "PollSpec",
+    "QueueSpec",
     "HardwareProfile",
     "spec_to_dict",
     "spec_from_dict",
@@ -79,6 +80,27 @@ class GuestSpec:
 
 
 @dataclass(frozen=True)
+class QueueSpec:
+    """Multi-queue shape of the guest->backend datapath.
+
+    ``blk_queues``/``net_queue_pairs`` size the virtio devices
+    (VIRTIO_BLK_F_MQ request queues / VIRTIO_NET_F_MQ pairs);
+    ``backend_workers`` shards the vhost/SPDK/DPDK backends across
+    poll-mode workers (queue-affine, ring ``i`` -> worker
+    ``i % workers``). ``passthrough`` selects the per-queue-worker
+    bm-hypervisor datapath (each virtqueue gets its own doorbell and
+    service loop, so backend round-trips overlap across queues) instead
+    of the default mediated single poll loop. The defaults reproduce
+    the historical single-ring wiring bit-for-bit.
+    """
+
+    blk_queues: int = 1
+    net_queue_pairs: int = 1
+    backend_workers: int = 1
+    passthrough: bool = False
+
+
+@dataclass(frozen=True)
 class PollSpec:
     """Poll cadences of the loops that are not part of a layer spec.
 
@@ -106,6 +128,7 @@ class HardwareProfile:
     backend: BackendSpec = field(default_factory=BackendSpec)
     guest: GuestSpec = field(default_factory=GuestSpec)
     poll: PollSpec = field(default_factory=PollSpec)
+    queues: QueueSpec = field(default_factory=QueueSpec)
     chassis: ChassisSpec = field(default_factory=ChassisSpec)
     # Optional fault schedule (repro.faults). ``None`` — the default
     # everywhere — means no fault machinery is even constructed, so
@@ -231,6 +254,9 @@ _POSITIVE_FIELDS = {
     "max_slots",
     "max_iops",
     "write_replicas",
+    "blk_queues",
+    "net_queue_pairs",
+    "backend_workers",
 }
 
 

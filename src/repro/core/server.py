@@ -31,7 +31,13 @@ from repro.iobond.bond import IoBond, IoBondSpec
 from repro.sim.doorbell import Doorbell
 from repro.virtio.blk import SECTOR_BYTES, VIRTIO_BLK_S_OK, BlkRequestHeader, VirtioBlkDevice
 from repro.virtio.device import full_init
+from repro.virtio.multiqueue import MultiQueueNetDevice
 from repro.virtio.net import VirtioNetDevice
+
+#: The virtqueue EFI firmware boots from. Firmware is single-threaded
+#: and pre-MQ: even on an N-queue device it drives request queue 0, as
+#: real EFI virtio-blk drivers do.
+BOOT_QUEUE = 0
 
 __all__ = ["BmHiveServer", "VirtServer"]
 
@@ -59,12 +65,14 @@ class BmHiveServer:
         self.fabric = fabric or Fabric(sim, backend.fabric)
         self.nic = self.fabric.attach(name)
         self.chassis = Chassis(sim, chassis_spec or self.profile.chassis)
+        queues = self.profile.queues
         self.vswitch = DpdkVSwitch(sim, backend.dpdk, name=f"{name}.vswitch",
-                                   poll_mode=backend.poll_mode)
+                                   poll_mode=backend.poll_mode,
+                                   n_workers=queues.backend_workers)
         media = backend.local_media if local_storage else backend.cloud_media
         self.storage = SpdkStorage(
             sim, self.fabric, name, spec=backend.spdk, media=media,
-            remote=not local_storage,
+            remote=not local_storage, n_workers=queues.backend_workers,
         )
         self.iobond_spec = iobond_spec or self.profile.iobond
         self.guests: List[BmGuest] = []
@@ -96,14 +104,22 @@ class BmHiveServer:
         self.chassis.admit(board)
 
         bond = IoBond(self.sim, self.iobond_spec, name=f"{name}.iobond")
-        net_device = VirtioNetDevice(mac=_unique_mac(name),
-                                     queue_size=guest_spec.virtio_queue_size)
-        blk_device = VirtioBlkDevice(queue_size=guest_spec.virtio_queue_size)
+        queues = self.profile.queues
+        if queues.net_queue_pairs > 1:
+            net_device = MultiQueueNetDevice(
+                n_queue_pairs=queues.net_queue_pairs, mac=_unique_mac(name),
+                queue_size=guest_spec.virtio_queue_size)
+        else:
+            net_device = VirtioNetDevice(mac=_unique_mac(name),
+                                         queue_size=guest_spec.virtio_queue_size)
+        blk_device = VirtioBlkDevice(queue_size=guest_spec.virtio_queue_size,
+                                     n_queues=queues.blk_queues)
         net_port = bond.add_port("net", net_device)
         blk_port = bond.add_port("blk", blk_device)
 
         hypervisor = BmHypervisor(self.sim, bond, guest_name=name,
-                                  spec=self.profile.bm_hypervisor)
+                                  spec=self.profile.bm_hypervisor,
+                                  passthrough=queues.passthrough)
         hypervisor.power_on(board)
         self.hypervisors[name] = hypervisor
 
@@ -133,15 +149,18 @@ class BmHiveServer:
         return guest
 
     # -- full-fidelity boot (used by examples and integration tests) -------
-    def make_blk_handler(self, guest: BmGuest, image: VmImage):
-        """Backend handler for ``guest``'s virtio-blk queue 0.
+    def make_blk_handler(self, guest: BmGuest, image: VmImage,
+                         queue_index: int = 0):
+        """Backend handler for one of ``guest``'s virtio-blk queues.
 
         Each shadow-vring entry becomes a storage read serviced against
         ``image``: SPDK submit through the guest's rate limiters, sector
         payload assembly, completion write-back, and the IO-Bond DMA +
         MSI delivery. Factored out of :meth:`boot_guest` so a warm-start
         rebuild (:meth:`attach_booted_guest`) installs the *same* data
-        plane a booted server has.
+        plane a booted server has. ``queue_index`` threads through to
+        the shadow vring, the SPDK worker shard, and the completion
+        delivery, so an N-queue device gets N independent handlers.
         """
         bond = guest.bond
         port = bond.port("blk")
@@ -152,15 +171,16 @@ class BmHiveServer:
 
             def service():
                 yield from self.storage.submit(guest.limiters, max(nbytes, SECTOR_BYTES),
-                                               is_read=True)
+                                               is_read=True,
+                                               queue_index=queue_index)
                 data = b"".join(
                     image.read_sector(header.sector + i)
                     for i in range(nbytes // SECTOR_BYTES)
                 )
-                port.shadows[0].backend_complete(
+                port.shadows[queue_index].backend_complete(
                     entry.guest_head, data + bytes([VIRTIO_BLK_S_OK])
                 )
-                yield from bond.deliver_completions(port, 0)
+                yield from bond.deliver_completions(port, queue_index)
 
             return service()
 
@@ -182,8 +202,9 @@ class BmHiveServer:
         DESIGN.md, snapshot scope).
         """
         full_init(guest.blk_device)
-        guest.hypervisor.register_handler(
-            "blk", 0, self.make_blk_handler(guest, image))
+        for qi in range(guest.blk_device.n_queues):
+            guest.hypervisor.register_handler(
+                "blk", qi, self.make_blk_handler(guest, image, qi))
         guest.hypervisor.start()
         guest.image = image
 
@@ -201,23 +222,28 @@ class BmHiveServer:
         hypervisor = guest.hypervisor
         full_init(blk)
 
-        hypervisor.register_handler("blk", 0, self.make_blk_handler(guest, image))
+        for qi in range(blk.n_queues):
+            hypervisor.register_handler("blk", qi,
+                                        self.make_blk_handler(guest, image, qi))
         hypervisor.mark_booting()
         hypervisor.start()
 
         # The firmware's used-ring poll (10 µs cadence) parks on its own
-        # doorbell; IO-Bond writing back completions rings it.
+        # doorbell; IO-Bond writing back completions rings it. Firmware
+        # only ever drives BOOT_QUEUE, even on an N-queue device.
         fw_poll_s = self.profile.poll.firmware_used_poll_s
         used_bell = Doorbell(self.sim, fw_poll_s)
-        blk.vq.on_used = used_bell.ring
+        boot_vq = blk.queue(BOOT_QUEUE)
+        boot_vq.on_used = used_bell.ring
 
         def io_roundtrip(sector, n_sectors):
-            head = blk.driver_read(sector, n_sectors * SECTOR_BYTES)
-            chain = blk.vq.resolve_chain(head)
-            yield from bond.guest_pci_access(port, "queue_notify", 0)
+            head = blk.driver_read(sector, n_sectors * SECTOR_BYTES,
+                                   queue_index=BOOT_QUEUE)
+            chain = boot_vq.resolve_chain(head)
+            yield from bond.guest_pci_access(port, "queue_notify", BOOT_QUEUE)
             # The firmware polls the used ring (no interrupts in EFI).
             while True:
-                used = blk.vq.get_used()
+                used = boot_vq.get_used()
                 if used is not None:
                     break
                 if used_bell.enabled:
@@ -230,7 +256,7 @@ class BmHiveServer:
 
         record = yield from guest.firmware.boot(blk, image, io_roundtrip)
         used_bell.cancel()
-        blk.vq.on_used = None
+        boot_vq.on_used = None
         hypervisor.mark_running()
         guest.image = image
         return record
@@ -250,12 +276,14 @@ class VirtServer:
         self.fabric = fabric or Fabric(sim, backend.fabric)
         self.nic = self.fabric.attach(name)
         self.cpu_model = cpu_model or self.profile.guest.cpu_model
+        queues = self.profile.queues
         self.vswitch = DpdkVSwitch(sim, backend.dpdk, name=f"{name}.vswitch",
-                                   poll_mode=backend.poll_mode)
+                                   poll_mode=backend.poll_mode,
+                                   n_workers=queues.backend_workers)
         media = backend.local_media if local_storage else backend.cloud_media
         self.storage = SpdkStorage(
             sim, self.fabric, name, spec=backend.spdk, media=media,
-            remote=not local_storage,
+            remote=not local_storage, n_workers=queues.backend_workers,
         )
         self.kvm = KvmModel(self.profile.guest.kvm)
         self.guests: List[VmGuest] = []

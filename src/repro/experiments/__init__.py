@@ -25,6 +25,7 @@ from repro.experiments import (
     fault_isolation,
     future_work,
     iobond_micro,
+    mq_ablation,
     nested,
     security_exp,
     table1,
@@ -39,8 +40,8 @@ ALL_EXPERIMENTS: Dict[str, Callable] = {
     for module in (
         table1, table2, table3,
         fig1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16,
-        cost, nested, iobond_micro, security_exp, ablations, future_work,
-        fault_isolation, chaos_campaign,
+        cost, nested, iobond_micro, mq_ablation, security_exp, ablations,
+        future_work, fault_isolation, chaos_campaign,
     )
 }
 

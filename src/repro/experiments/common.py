@@ -25,10 +25,11 @@ simulator event order.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from dataclasses import replace as dc_replace
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.backend.limits import RateLimits
-from repro.config.profile import HardwareProfile
+from repro.config.profile import HardwareProfile, QueueSpec
 from repro.core.guests import BmGuest, PhysicalMachine, VmGuest
 from repro.core.server import BmHiveServer, VirtServer
 from repro.guest.image import VmImage
@@ -73,6 +74,13 @@ class TestbedConfig:
     limits: RateLimits = field(default_factory=RateLimits.standard)
     local_storage: bool = False
     image_name: str = DEFAULT_WARM_IMAGE
+    # Multi-queue datapath shape (QueueSpec knobs, flattened so the
+    # config stays a plain picklable value). Defaults reproduce the
+    # single-ring wiring bit-for-bit.
+    blk_queues: int = 1
+    net_queue_pairs: int = 1
+    backend_workers: int = 1
+    passthrough: bool = False
 
 
 @dataclass
@@ -129,6 +137,10 @@ class TestbedBuilder:
         self._guests_per_server = 2
         self._limits: Optional[RateLimits] = None
         self._local_storage = False
+        self._blk_queues = 1
+        self._net_queue_pairs = 1
+        self._backend_workers = 1
+        self._passthrough = False
 
     # -- fluent knobs ------------------------------------------------------
     def seed(self, seed: int) -> "TestbedBuilder":
@@ -168,6 +180,19 @@ class TestbedBuilder:
         self._local_storage = bool(enabled)
         return self
 
+    def queues(self, blk: int = 1, net_pairs: int = 1, workers: int = 1,
+               passthrough: bool = False) -> "TestbedBuilder":
+        """Shape the multi-queue datapath (see :class:`QueueSpec`)."""
+        for label, value in (("blk", blk), ("net_pairs", net_pairs),
+                             ("workers", workers)):
+            if value < 1:
+                raise ValueError(f"{label} must be >= 1, got {value}")
+        self._blk_queues = int(blk)
+        self._net_queue_pairs = int(net_pairs)
+        self._backend_workers = int(workers)
+        self._passthrough = bool(passthrough)
+        return self
+
     # -- config round-trip -------------------------------------------------
     def to_config(self, image_name: str = DEFAULT_WARM_IMAGE) -> TestbedConfig:
         """Freeze this builder into a picklable :class:`TestbedConfig`."""
@@ -184,6 +209,10 @@ class TestbedBuilder:
             limits=self._limits or RateLimits.standard(),
             local_storage=self._local_storage,
             image_name=image_name,
+            blk_queues=self._blk_queues,
+            net_queue_pairs=self._net_queue_pairs,
+            backend_workers=self._backend_workers,
+            passthrough=self._passthrough,
         )
 
     @classmethod
@@ -194,7 +223,11 @@ class TestbedBuilder:
                    .servers(config.n_servers)
                    .guests_per_server(config.guests_per_server)
                    .limits(config.limits)
-                   .local_storage(config.local_storage))
+                   .local_storage(config.local_storage)
+                   .queues(blk=config.blk_queues,
+                           net_pairs=config.net_queue_pairs,
+                           workers=config.backend_workers,
+                           passthrough=config.passthrough))
         if config.profile_name is not None:
             builder.profile(config.profile_name)
         return builder
@@ -208,6 +241,18 @@ class TestbedBuilder:
         """
         sim = Simulator(seed=self._seed)
         profile = self._profile or HardwareProfile.paper()
+        queue_knobs = (self._blk_queues, self._net_queue_pairs,
+                       self._backend_workers, self._passthrough)
+        if queue_knobs != (1, 1, 1, False):
+            # Only replace when non-default: the untouched preset value
+            # keeps the historical object graph (and `profile is` checks)
+            # intact for single-queue beds.
+            profile = dc_replace(profile, queues=QueueSpec(
+                blk_queues=self._blk_queues,
+                net_queue_pairs=self._net_queue_pairs,
+                backend_workers=self._backend_workers,
+                passthrough=self._passthrough,
+            ))
         limits = self._limits or RateLimits.standard()
 
         hives: List[BmHiveServer] = []

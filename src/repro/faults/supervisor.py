@@ -177,7 +177,8 @@ class Supervisor:
 def reconnect_with_backoff(sim, backend, until_s: float,
                            backoff: Optional[BackoffSpec] = None,
                            stream: str = "faults.reconnect",
-                           n_queues: int = 1):
+                           n_queues: int = 1,
+                           frontend: Optional[VhostUserFrontend] = None):
     """Process: vhost-user reconnect loop for a dropped backend session.
 
     Retries with exponential backoff + jitter (seeded stream) until the
@@ -185,6 +186,11 @@ def reconnect_with_backoff(sim, backend, until_s: float,
     vhost-user handshake — feature negotiation, memory table, per-ring
     setup — and reopens the gate so queued requests drain in FIFO
     order. Returns the number of connection attempts made.
+
+    Pass ``frontend`` to reconnect an *existing* device session: the
+    handshake replays against its backend with its ring count (so all N
+    virtqueues are re-established); ``n_queues`` is ignored in that
+    case. Without it a fresh single-device session is modeled.
     """
     backoff = backoff or BackoffSpec()
     rng = sim.streams.get(stream)
@@ -194,8 +200,9 @@ def reconnect_with_backoff(sim, backend, until_s: float,
         attempt += 1
         if sim.now >= until_s:
             break
-    # Structural handshake against a fresh backend session.
-    frontend = VhostUserFrontend(VhostUserBackend(), n_queues=n_queues)
+    # Structural handshake against the backend session.
+    if frontend is None:
+        frontend = VhostUserFrontend(VhostUserBackend(), n_queues=n_queues)
     frontend.connect()
     backend.reconnect()
     return attempt

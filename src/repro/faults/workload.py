@@ -36,14 +36,17 @@ class RingBlkLoad:
                  period_s: float = 400e-6, offset_s: float = 0.0,
                  read_bytes: int = 4096,
                  policy: Optional[RetryPolicy] = None,
-                 poll_s: float = 10e-6):
+                 poll_s: float = 10e-6, queue_index: int = 0):
         if n_requests <= 0:
             raise ValueError(f"need at least one request, got {n_requests}")
         if period_s <= 0:
             raise ValueError(f"period must be positive, got {period_s}")
+        if queue_index < 0:
+            raise ValueError(f"queue_index must be >= 0, got {queue_index}")
         self.sim = sim
         self.guest = guest
         self.storage = storage
+        self.queue_index = queue_index
         self.n_requests = n_requests
         self.period_s = period_s
         self.offset_s = offset_s
@@ -68,8 +71,12 @@ class RingBlkLoad:
         blk = self.guest.blk_device
         if not blk.queues:
             full_init(blk)
+        if self.queue_index >= blk.n_queues:
+            raise ValueError(
+                f"queue {self.queue_index} out of range for "
+                f"{blk.n_queues}-queue device")
         hv = self.guest.hypervisor
-        hv.register_handler("blk", 0, self._handle_blk)
+        hv.register_handler("blk", self.queue_index, self._handle_blk)
         if hv.state is GuestState.POWERED_ON:
             hv.mark_booting()
         if not hv.is_polling:
@@ -80,16 +87,18 @@ class RingBlkLoad:
     def _handle_blk(self, entry):
         bond = self.guest.bond
         port = bond.port("blk")
+        queue_index = self.queue_index
         nbytes = max(0, entry.writable_bytes - 1)
 
         def service():
             yield from self.storage.submit(
-                self.guest.limiters, max(nbytes, SECTOR_BYTES), is_read=True
+                self.guest.limiters, max(nbytes, SECTOR_BYTES), is_read=True,
+                queue_index=queue_index,
             )
-            port.shadows[0].backend_complete(
+            port.shadows[queue_index].backend_complete(
                 entry.guest_head, bytes(nbytes) + bytes([VIRTIO_BLK_S_OK])
             )
-            yield from bond.deliver_completions(port, 0)
+            yield from bond.deliver_completions(port, queue_index)
 
         return service()
 
@@ -98,9 +107,11 @@ class RingBlkLoad:
         """Process: issue and complete every request, with retries."""
         sim = self.sim
         blk = self.guest.blk_device
-        self.tracker = blk.request_tracker(sim, self.policy)
+        self.tracker = blk.request_tracker(sim, self.policy,
+                                           queue_index=self.queue_index)
         bell = Doorbell(sim, self.poll_s)
-        blk.vq.on_used = bell.ring
+        vq = blk.queue(self.queue_index)
+        vq.on_used = bell.ring
         try:
             issue_at = self.offset_s
             for index in range(self.n_requests):
@@ -110,8 +121,8 @@ class RingBlkLoad:
                 issue_at += self.period_s
         finally:
             bell.cancel()
-            if blk.vq.on_used == bell.ring:
-                blk.vq.on_used = None
+            if vq.on_used == bell.ring:
+                vq.on_used = None
         self.done = True
         return tuple(self.records)
 
@@ -122,12 +133,13 @@ class RingBlkLoad:
         port = bond.port("blk")
         n_sectors = self.read_bytes // SECTOR_BYTES
         sector = (index * n_sectors) % (blk.capacity_sectors - n_sectors)
-        head = blk.driver_read(sector, self.read_bytes)
+        head = blk.driver_read(sector, self.read_bytes,
+                               queue_index=self.queue_index)
         self.tracker.post(head)
         issued = sim.now
-        yield from bond.guest_pci_access(port, "queue_notify", 0)
+        yield from bond.guest_pci_access(port, "queue_notify", self.queue_index)
         while True:
-            used = blk.vq.get_used()
+            used = blk.queue(self.queue_index).get_used()
             if used is not None:
                 used_head, _ = used
                 if used_head != head:
@@ -150,7 +162,8 @@ class RingBlkLoad:
                 self.retries += 1
                 # Both recovery outcomes need a kick: a reposted chain
                 # is invisible until IO-Bond re-syncs the avail ring.
-                yield from bond.guest_pci_access(port, "queue_notify", 0)
+                yield from bond.guest_pci_access(port, "queue_notify",
+                                                 self.queue_index)
                 continue
             if bell.enabled:
                 wake = bell.park()

@@ -101,10 +101,18 @@ class IoBondPort:
         # wire its doorbell hook before any entry is published.
         self.on_shadow_created: Optional[Callable[[ShadowVring], None]] = None
         self.interrupts_raised = 0
+        # Per-queue datapath counters, keyed by queue index. The
+        # aggregate counters above are kept for compatibility; these
+        # break them down so MQ steering imbalance is observable.
+        self.queue_kicks: Dict[int, int] = {}
+        self.queue_syncs: Dict[int, int] = {}
+        self.queue_completions: Dict[int, int] = {}
+        self.queue_interrupts: Dict[int, int] = {}
 
     def _on_guest_notify(self, queue_index: int) -> None:
         # The latency of the notify write itself is charged by
         # IoBond.guest_pci_access; here we start the hardware sync.
+        self.queue_kicks[queue_index] = self.queue_kicks.get(queue_index, 0) + 1
         self.bond.sim.spawn(self.bond.sync_to_shadow(self, queue_index))
 
     def shadow(self, queue_index: int) -> ShadowVring:
@@ -114,12 +122,23 @@ class IoBondPort:
                     "guest driver has not initialized the device; no queues exist"
                 )
             shadow = ShadowVring(
-                self.device.queue(queue_index), name=f"{self.name}.q{queue_index}"
+                self.device.queue(queue_index),
+                name=f"{self.name}.q{queue_index}",
+                queue_index=queue_index,
             )
             self.shadows[queue_index] = shadow
             if self.on_shadow_created is not None:
                 self.on_shadow_created(shadow)
         return self.shadows[queue_index]
+
+    def queue_stats(self, queue_index: int) -> Dict[str, int]:
+        """Datapath counters for one queue (kicks/syncs/completions/MSIs)."""
+        return {
+            "kicks": self.queue_kicks.get(queue_index, 0),
+            "syncs": self.queue_syncs.get(queue_index, 0),
+            "completions": self.queue_completions.get(queue_index, 0),
+            "interrupts": self.queue_interrupts.get(queue_index, 0),
+        }
 
 
 class IoBond:
@@ -217,6 +236,8 @@ class IoBond:
         # Payload copy by the internal DMA engine.
         yield from self.dma.copy(payload_bytes)
         shadow.publish_staged(staged)
+        port.queue_syncs[queue_index] = (
+            port.queue_syncs.get(queue_index, 0) + staged)
         return staged
 
     # -- completion path (shadow -> guest) -----------------------------------------
@@ -234,10 +255,14 @@ class IoBond:
         yield from self.dma.copy(payload_bytes)
         yield from port.board_link.transfer(payload_bytes)
         delivered = shadow.flush_to_guest()
+        port.queue_completions[queue_index] = (
+            port.queue_completions.get(queue_index, 0) + delivered)
         if shadow.guest_vq.needs_interrupt():
             port.pci.raise_isr()
             yield from self.msi.deliver()
             port.interrupts_raised += 1
+            port.queue_interrupts[queue_index] = (
+                port.queue_interrupts.get(queue_index, 0) + 1)
             if port.on_interrupt is not None:
                 port.on_interrupt()
         return delivered

@@ -41,9 +41,13 @@ class ShadowEntry:
 class ShadowVring:
     """Base-side mirror of one guest virtqueue plus its registers."""
 
-    def __init__(self, guest_vq: VirtQueue, name: str = "shadow"):
+    def __init__(self, guest_vq: VirtQueue, name: str = "shadow",
+                 queue_index: int = 0):
         self.guest_vq = guest_vq
         self.name = name
+        # Which virtqueue of the owning port this shadow mirrors; the
+        # bm-hypervisor's per-queue doorbell wiring keys off it.
+        self.queue_index = queue_index
         self.registers = HeadTailRegisters()
         self._entries: Deque[ShadowEntry] = deque()
         # Completions queued by the backend, waiting for IO-Bond to DMA

@@ -91,6 +91,27 @@ def bench_diff(a: dict, b: dict,
     if ignore_keys:
         ignored = ignored | frozenset(ignore_keys)
 
+    # Reports produced under different multi-queue datapath shapes are
+    # incomparable: every row legitimately differs, so a row-by-row
+    # diff would bury the real cause in noise. Surface the config
+    # mismatch alone and stop.
+    if "queue_config" not in ignored:
+        config_a = a.get("queue_config")
+        config_b = b.get("queue_config")
+        if (config_a is not None and config_b is not None
+                and config_a != config_b):
+            changed = sorted(
+                key for key in set(config_a) | set(config_b)
+                if config_a.get(key) != config_b.get(key))
+            return [
+                "queue_config mismatch — reports were produced under "
+                "different multi-queue configurations and are not "
+                "comparable: "
+                + ", ".join(
+                    f"{key}: {config_a.get(key)!r} vs {config_b.get(key)!r}"
+                    for key in changed)
+            ]
+
     def walk(path: str, left, right) -> None:
         if isinstance(left, dict) and isinstance(right, dict):
             for key in sorted(set(left) | set(right)):

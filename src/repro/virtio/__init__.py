@@ -2,6 +2,7 @@
 
 from repro.virtio.blk import (
     SECTOR_BYTES,
+    VIRTIO_BLK_F_MQ,
     VIRTIO_BLK_S_IOERR,
     VIRTIO_BLK_S_OK,
     VIRTIO_BLK_S_UNSUPP,
@@ -40,6 +41,13 @@ from repro.virtio.net import (
     ethernet_frame,
 )
 from repro.virtio.pci import VIRTIO_VENDOR_ID, PciConfigSpace, VirtioPciFunction
+from repro.virtio.steering import (
+    blk_queue_for_request,
+    ctrl_queue_index,
+    pair_for_queue,
+    rx_queue_index,
+    tx_queue_index,
+)
 from repro.virtio.vring import (
     VRING_DESC_F_INDIRECT,
     VRING_DESC_F_NEXT,
@@ -79,6 +87,12 @@ __all__ = [
     "VirtioBlkDevice",
     "BlkRequestHeader",
     "SECTOR_BYTES",
+    "VIRTIO_BLK_F_MQ",
+    "blk_queue_for_request",
+    "rx_queue_index",
+    "tx_queue_index",
+    "ctrl_queue_index",
+    "pair_for_queue",
     "VIRTIO_BLK_T_IN",
     "VIRTIO_BLK_T_OUT",
     "VIRTIO_BLK_T_FLUSH",

@@ -13,9 +13,11 @@ import struct
 from dataclasses import dataclass
 
 from repro.virtio.device import Feature, VIRTIO_ID_BLOCK, VirtioDevice, feature_mask
+from repro.virtio.steering import blk_queue_for_request
 
 __all__ = [
     "VirtioBlkDevice",
+    "VIRTIO_BLK_F_MQ",
     "BlkRequestHeader",
     "SECTOR_BYTES",
     "VIRTIO_BLK_T_IN",
@@ -27,6 +29,8 @@ __all__ = [
 ]
 
 SECTOR_BYTES = 512
+
+VIRTIO_BLK_F_MQ = Feature.BLK_MQ  # feature bit 12
 
 VIRTIO_BLK_T_IN = 0      # device -> driver (read)
 VIRTIO_BLK_T_OUT = 1     # driver -> device (write)
@@ -61,13 +65,29 @@ class BlkRequestHeader:
 
 
 class VirtioBlkDevice(VirtioDevice):
-    """A single-queue virtio block device."""
+    """A virtio block device with ``n_queues`` request queues.
+
+    The default is the historical single-queue device; with
+    ``n_queues > 1`` the device offers ``VIRTIO_BLK_F_MQ`` and exposes
+    a ``num_queues`` config field, mirroring how
+    :class:`~repro.virtio.multiqueue.MultiQueueNetDevice` negotiates
+    its queue pairs. Requests steer to a queue either explicitly
+    (``queue_index=``) or by :func:`queue_for_request`'s blk-mq style
+    key mapping.
+    """
 
     device_id = VIRTIO_ID_BLOCK
     n_queues = 1
 
-    def __init__(self, capacity_sectors: int = 2 * 1024 * 1024 * 2, **kwargs):
+    def __init__(self, capacity_sectors: int = 2 * 1024 * 1024 * 2,
+                 n_queues: int = 1, **kwargs):
         # Default 2 GiB of 512-byte sectors.
+        if n_queues < 1:
+            raise ValueError(f"need at least one request queue, got {n_queues}")
+        # Instance attribute shadows the class default before the
+        # queues are built (lazily, at FEATURES_OK) — exactly like the
+        # MQ net device does with its pairs.
+        self.n_queues = n_queues
         super().__init__(**kwargs)
         self.capacity_sectors = capacity_sectors
         self._config = {
@@ -75,44 +95,58 @@ class VirtioBlkDevice(VirtioDevice):
             "seg_max": 128,
             "blk_size": SECTOR_BYTES,
         }
+        if n_queues > 1:
+            self._config["num_queues"] = n_queues
 
     def offered_features(self) -> int:
-        return super().offered_features() | feature_mask(
+        offered = super().offered_features() | feature_mask(
             Feature.BLK_SEG_MAX, Feature.BLK_BLK_SIZE, Feature.BLK_FLUSH
         )
+        if self.n_queues > 1:
+            # MQ is only offered when there is something to negotiate,
+            # so a single-queue device stays bit-identical to the
+            # historical one.
+            offered |= feature_mask(VIRTIO_BLK_F_MQ)
+        return offered
 
     @property
     def vq(self):
         return self.queue(0)
 
+    def queue_for_request(self, key: int):
+        """The request queue a submission key steers to (blk-mq style)."""
+        return self.queue(blk_queue_for_request(key, self.n_queues))
+
     # -- driver-side helpers ---------------------------------------------------
-    def driver_read(self, sector: int, nbytes: int) -> int:
+    def driver_read(self, sector: int, nbytes: int, queue_index: int = 0) -> int:
         """Post a read request; returns the chain head."""
         self._check_range(sector, nbytes)
         header = BlkRequestHeader(type=VIRTIO_BLK_T_IN, sector=sector)
-        return self.vq.add_buffer([header.pack()], [nbytes, 1])
+        return self.queue(queue_index).add_buffer([header.pack()], [nbytes, 1])
 
-    def driver_write(self, sector: int, data: bytes) -> int:
+    def driver_write(self, sector: int, data: bytes,
+                     queue_index: int = 0) -> int:
         """Post a write request; returns the chain head."""
         self._check_range(sector, len(data))
         header = BlkRequestHeader(type=VIRTIO_BLK_T_OUT, sector=sector)
-        return self.vq.add_buffer([header.pack(), data], [1])
+        return self.queue(queue_index).add_buffer([header.pack(), data], [1])
 
-    def driver_flush(self) -> int:
+    def driver_flush(self, queue_index: int = 0) -> int:
         header = BlkRequestHeader(type=VIRTIO_BLK_T_FLUSH, sector=0)
-        return self.vq.add_buffer([header.pack()], [1])
+        return self.queue(queue_index).add_buffer([header.pack()], [1])
 
-    def request_tracker(self, sim, policy=None):
-        """Driver-side timeout/replay table for the request queue.
+    def request_tracker(self, sim, policy=None, queue_index: int = 0):
+        """Driver-side timeout/replay table for one request queue.
 
         Models blk-mq's per-request timer: a request that misses its
         deadline is re-kicked or replayed (see
         :mod:`repro.virtio.reliability`) so a backend crash cannot
-        strand in-flight descriptors.
+        strand in-flight descriptors. Like blk-mq's per-hctx timers,
+        each request queue gets its own table.
         """
         from repro.virtio.reliability import InflightTable, RetryPolicy
 
-        return InflightTable(sim, self.vq, policy or RetryPolicy())
+        return InflightTable(sim, self.queue(queue_index), policy or RetryPolicy())
 
     def _check_range(self, sector: int, nbytes: int) -> None:
         if nbytes % SECTOR_BYTES:
@@ -125,22 +159,25 @@ class VirtioBlkDevice(VirtioDevice):
             )
 
     # -- device-side helpers -----------------------------------------------------
-    def device_fetch_request(self):
+    def device_fetch_request(self, queue_index: int = 0):
         """Pop one request: returns (head, header, data, status_capacity).
 
         ``data`` is the write payload for OUT requests and ``b""`` for
         IN/FLUSH. The final writable byte of the chain is the status.
         """
-        chain = self.vq.pop_avail()
+        vq = self.queue(queue_index)
+        chain = vq.pop_avail()
         if chain is None:
             return None
-        raw = self.vq.read_chain(chain)
+        raw = vq.read_chain(chain)
         header = BlkRequestHeader.unpack(raw)
         data = raw[BlkRequestHeader.SIZE:]
         return chain, header, data
 
-    def device_complete(self, chain, payload: bytes, status: int) -> None:
+    def device_complete(self, chain, payload: bytes, status: int,
+                        queue_index: int = 0) -> None:
         """Write the response payload + status byte and push used."""
+        vq = self.queue(queue_index)
         response = payload + bytes([status])
-        self.vq.write_chain(chain, response)
-        self.vq.push_used(chain.head, len(response))
+        vq.write_chain(chain, response)
+        vq.push_used(chain.head, len(response))

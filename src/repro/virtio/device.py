@@ -52,6 +52,7 @@ class Feature:
     BLK_SEG_MAX = 2
     BLK_BLK_SIZE = 6
     BLK_FLUSH = 9
+    BLK_MQ = 12  # VIRTIO_BLK_F_MQ: num_queues request queues
 
 
 def feature_mask(*bits: int) -> int:

@@ -14,17 +14,14 @@ from typing import List, Optional, Tuple
 
 from repro.virtio.device import Feature, feature_mask
 from repro.virtio.net import VirtioNetDevice, VirtioNetHeader
+from repro.virtio.steering import (ctrl_queue_index, rss_queue_for_flow,
+                                   rx_queue_index, tx_queue_index)
 
+# rss_queue_for_flow moved to repro.virtio.steering (it is shared with
+# virtio-blk MQ now); re-exported here for backward compatibility.
 __all__ = ["MultiQueueNetDevice", "rss_queue_for_flow"]
 
 VIRTIO_NET_F_MQ = 22
-
-
-def rss_queue_for_flow(flow_hash: int, n_pairs: int) -> int:
-    """Toeplitz-style indirection: hash -> queue pair index."""
-    if n_pairs < 1:
-        raise ValueError(f"n_pairs must be >= 1, got {n_pairs}")
-    return flow_hash % n_pairs
 
 
 class MultiQueueNetDevice(VirtioNetDevice):
@@ -50,15 +47,15 @@ class MultiQueueNetDevice(VirtioNetDevice):
     # -- queue addressing ---------------------------------------------------
     def rx_queue(self, pair: int):
         self._check_pair(pair)
-        return self.queue(2 * pair)
+        return self.queue(rx_queue_index(pair))
 
     def tx_queue(self, pair: int):
         self._check_pair(pair)
-        return self.queue(2 * pair + 1)
+        return self.queue(tx_queue_index(pair))
 
     @property
     def ctrl_queue(self):
-        return self.queue(2 * self.n_queue_pairs)
+        return self.queue(ctrl_queue_index(self.n_queue_pairs))
 
     def _check_pair(self, pair: int) -> None:
         if not 0 <= pair < self.n_queue_pairs:

@@ -1,0 +1,87 @@
+"""Shared queue-steering helpers for multi-queue virtio devices.
+
+Both MQ device families place traffic on one of N rings: virtio-net
+spreads flows over queue *pairs* with an RSS indirection table
+(VIRTIO_NET_F_MQ), and virtio-blk spreads requests over request queues
+(VIRTIO_BLK_F_MQ) the way blk-mq maps submissions to hardware
+contexts. The arithmetic is identical — a stable key modulo the active
+queue count — so it lives here once and the device models
+(:mod:`repro.virtio.multiqueue`, :mod:`repro.virtio.blk`) import it.
+
+The net pair layout follows the spec: ``rx0, tx0, rx1, tx1, ...,
+ctrl``; :func:`pair_for_queue` is the exact inverse of
+:func:`rx_queue_index`/:func:`tx_queue_index`/:func:`ctrl_queue_index`,
+which the property tests pin down for every ``n_pairs``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = [
+    "rss_queue_for_flow",
+    "blk_queue_for_request",
+    "rx_queue_index",
+    "tx_queue_index",
+    "ctrl_queue_index",
+    "pair_for_queue",
+]
+
+
+def rss_queue_for_flow(flow_hash: int, n_pairs: int) -> int:
+    """Toeplitz-style indirection: hash -> queue pair index."""
+    if n_pairs < 1:
+        raise ValueError(f"n_pairs must be >= 1, got {n_pairs}")
+    return flow_hash % n_pairs
+
+
+def blk_queue_for_request(key: int, n_queues: int) -> int:
+    """blk-mq style submission steering: stable key -> request queue.
+
+    ``key`` is whatever identifies the submission context (the issuing
+    CPU in Linux; a sector or stream id in the model) — the same key
+    always lands on the same queue, so per-queue ordering holds.
+    """
+    if n_queues < 1:
+        raise ValueError(f"n_queues must be >= 1, got {n_queues}")
+    return key % n_queues
+
+
+# -- virtio-net MQ vring layout: rx0, tx0, rx1, tx1, ..., ctrl ----------
+
+def rx_queue_index(pair: int) -> int:
+    """Ring index of pair ``pair``'s receive queue."""
+    if pair < 0:
+        raise ValueError(f"pair must be >= 0, got {pair}")
+    return 2 * pair
+
+
+def tx_queue_index(pair: int) -> int:
+    """Ring index of pair ``pair``'s transmit queue."""
+    if pair < 0:
+        raise ValueError(f"pair must be >= 0, got {pair}")
+    return 2 * pair + 1
+
+
+def ctrl_queue_index(n_pairs: int) -> int:
+    """Ring index of the control queue (after every data pair)."""
+    if n_pairs < 1:
+        raise ValueError(f"n_pairs must be >= 1, got {n_pairs}")
+    return 2 * n_pairs
+
+
+def pair_for_queue(queue_index: int, n_pairs: int) -> Tuple[int, str]:
+    """Inverse layout map: ring index -> ``(pair, kind)``.
+
+    ``kind`` is ``"rx"``/``"tx"`` for data rings and ``"ctrl"`` for the
+    control queue (whose pair is reported as ``n_pairs``).
+    """
+    if n_pairs < 1:
+        raise ValueError(f"n_pairs must be >= 1, got {n_pairs}")
+    if not 0 <= queue_index <= 2 * n_pairs:
+        raise IndexError(
+            f"queue {queue_index} out of range for {n_pairs} pairs"
+        )
+    if queue_index == 2 * n_pairs:
+        return n_pairs, "ctrl"
+    return queue_index // 2, "rx" if queue_index % 2 == 0 else "tx"

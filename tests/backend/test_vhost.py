@@ -3,6 +3,9 @@
 import pytest
 
 from repro.backend import VhostRequest, VhostUserBackend, VhostUserFrontend, VhostUserMessage
+from repro.core.server import BmHiveServer
+from repro.faults import reconnect_with_backoff
+from repro.sim import Simulator
 
 
 class TestHandshake:
@@ -51,3 +54,81 @@ class TestHandshake:
         requests = [m.request for m in backend.log]
         assert requests[0] is VhostRequest.GET_FEATURES
         assert VhostRequest.SET_MEM_TABLE in requests
+
+
+class TestMultiQueueNegotiation:
+    def test_every_ring_gets_full_per_vring_setup(self):
+        """N-queue connect: all N vrings see NUM/ADDR/BASE/KICK/CALL/ENABLE."""
+        backend = VhostUserBackend()
+        frontend = VhostUserFrontend(backend, n_queues=8, queue_size=128)
+        frontend.connect()
+        for index in range(8):
+            ring = backend.rings[index]
+            assert ring["num"] == 128
+            assert ring["kick_fd"] == 100 + index
+            assert ring["call_fd"] == 200 + index
+            assert backend.ring_ready(index)
+        nums = [m.payload["index"] for m in backend.log
+                if m.request is VhostRequest.SET_VRING_NUM]
+        enables = [m.payload["index"] for m in backend.log
+                   if m.request is VhostRequest.SET_VRING_ENABLE]
+        assert nums == list(range(8))
+        assert enables == list(range(8))
+
+    def test_queue_affine_worker_sharding(self):
+        backend = VhostUserBackend(n_workers=3)
+        VhostUserFrontend(backend, n_queues=8).connect()
+        assert backend.ring_workers() == {i: i % 3 for i in range(8)}
+
+    def test_worker_validation(self):
+        with pytest.raises(ValueError, match="worker"):
+            VhostUserBackend(n_workers=0)
+        with pytest.raises(ValueError, match=">= 0"):
+            VhostUserBackend(n_workers=2).worker_for_ring(-1)
+
+    def test_disconnect_stops_every_ring(self):
+        backend = VhostUserBackend()
+        frontend = VhostUserFrontend(backend, n_queues=4)
+        frontend.connect()
+        bases = frontend.disconnect()
+        assert bases == [0, 0, 0, 0]
+        assert not any(backend.ring_ready(i) for i in range(4))
+
+
+class TestMultiQueueReconnect:
+    def test_backoff_reconnect_reestablishes_all_rings(self):
+        """After an outage, the provided frontend replays the handshake
+        for *its* ring count and the per-queue state is consistent."""
+        sim = Simulator(seed=5)
+        server = BmHiveServer(sim)
+        backend = VhostUserBackend(n_workers=2)
+        frontend = VhostUserFrontend(backend, n_queues=4)
+        frontend.connect()
+        frontend.disconnect()
+        assert not backend.ring_ready(0)
+
+        server.storage.disconnect()
+        attempts = sim.run_process(reconnect_with_backoff(
+            sim, server.storage, until_s=5e-3, frontend=frontend))
+        assert attempts >= 1
+        assert server.storage.connected
+        for index in range(4):
+            assert backend.ring_ready(index)
+        # Queue-affine sharding survives the reconnect: same ring ->
+        # same worker as before the outage.
+        assert backend.ring_workers() == {i: i % 2 for i in range(4)}
+
+    def test_reconnect_is_deterministic_across_runs(self):
+        def run_once():
+            sim = Simulator(seed=11)
+            server = BmHiveServer(sim)
+            backend = VhostUserBackend()
+            frontend = VhostUserFrontend(backend, n_queues=2)
+            frontend.connect()
+            frontend.disconnect()
+            server.vswitch.disconnect()
+            n = sim.run_process(reconnect_with_backoff(
+                sim, server.vswitch, until_s=4e-3, frontend=frontend))
+            return n, sim.now, sorted(backend.rings)
+
+        assert run_once() == run_once()

@@ -9,7 +9,7 @@ EXPECTED_IDS = {
     "fig1", "fig7", "fig8", "fig9", "fig10", "fig11",
     "fig12", "fig13", "fig14", "fig15", "fig16",
     "cost", "nested", "iobond_micro", "security", "ablations",
-    "future_work", "fault_isolation", "chaos_campaign",
+    "future_work", "fault_isolation", "chaos_campaign", "mq_ablation",
 }
 
 

@@ -49,6 +49,43 @@ class TestBenchDiff:
         assert bench_diff({"l": [1]}, {"l": [1, 2]}) == ["l: length 1 != 2"]
 
 
+class TestQueueConfigMismatch:
+    def _pair(self):
+        a = {"queue_config": {"blk_queues": 1, "passthrough": False},
+             "experiments": {"f": {"events": {"e": 3}}}}
+        b = {"queue_config": {"blk_queues": 4, "passthrough": True},
+             "experiments": {"f": {"events": {"e": 99}}}}
+        return a, b
+
+    def test_mismatch_short_circuits_the_row_diff(self):
+        """Reports from different queue configs are incomparable: the
+        single surfaced difference names the config, not the rows."""
+        a, b = self._pair()
+        differences = bench_diff(a, b)
+        assert len(differences) == 1
+        assert "queue_config mismatch" in differences[0]
+        assert "not comparable" in differences[0]
+        assert "blk_queues: 1 vs 4" in differences[0]
+        assert not any("experiments" in d for d in differences)
+
+    def test_matching_config_diffs_rows_normally(self):
+        a, b = self._pair()
+        b["queue_config"] = dict(a["queue_config"])
+        assert bench_diff(a, b) == ["experiments.f.events.e: 3 != 99"]
+
+    def test_reports_without_config_diff_normally(self):
+        """Older reports (no queue_config header) keep the historical
+        row-by-row behavior."""
+        a, b = self._pair()
+        del a["queue_config"], b["queue_config"]
+        assert bench_diff(a, b) == ["experiments.f.events.e: 3 != 99"]
+
+    def test_ignore_queue_config_opts_out(self):
+        a, b = self._pair()
+        differences = bench_diff(a, b, ignore_keys=("queue_config",))
+        assert differences == ["experiments.f.events.e: 3 != 99"]
+
+
 class TestWallTolerance:
     def _pair(self, a_wall, b_wall):
         a = {"total_wall_s": a_wall, "timestamp": "x",

@@ -1,0 +1,69 @@
+"""Multi-queue virtio-blk: VIRTIO_BLK_F_MQ negotiation and steering."""
+
+import pytest
+
+from repro.virtio import VIRTIO_BLK_F_MQ, VirtioBlkDevice, full_init
+from repro.virtio.device import feature_mask
+
+
+class TestNegotiation:
+    def test_single_queue_device_does_not_offer_mq(self):
+        """Bit-identity guard: the default device's feature set and
+        config space are exactly the historical single-queue ones."""
+        blk = full_init(VirtioBlkDevice())
+        assert not blk.offered_features() & feature_mask(VIRTIO_BLK_F_MQ)
+        assert "num_queues" not in blk._config
+        assert blk.n_queues == 1
+        assert len(blk.queues) == 1
+
+    def test_mq_device_offers_feature_and_config(self):
+        blk = full_init(VirtioBlkDevice(n_queues=4))
+        assert blk.offered_features() & feature_mask(VIRTIO_BLK_F_MQ)
+        assert blk.read_config("num_queues") == 4
+        assert len(blk.queues) == 4
+
+    def test_negotiated_features_include_mq(self):
+        blk = full_init(VirtioBlkDevice(n_queues=2))
+        assert blk.has_feature(VIRTIO_BLK_F_MQ)
+
+    def test_zero_queues_rejected(self):
+        with pytest.raises(ValueError, match="request queue"):
+            VirtioBlkDevice(n_queues=0)
+
+
+class TestSteering:
+    def test_requests_post_on_the_addressed_queue(self):
+        blk = full_init(VirtioBlkDevice(n_queues=3))
+        blk.driver_read(0, 4096, queue_index=2)
+        blk.driver_write(8, b"\0" * 512, queue_index=1)
+        blk.driver_flush(queue_index=0)
+        assert [q.avail_pending for q in blk.queues] == [1, 1, 1]
+
+    def test_device_side_completion_per_queue(self):
+        blk = full_init(VirtioBlkDevice(n_queues=2))
+        blk.driver_read(0, 512, queue_index=1)
+        assert blk.device_fetch_request(queue_index=0) is None
+        chain, header, _data = blk.device_fetch_request(queue_index=1)
+        blk.device_complete(chain, b"\0" * 512, 0, queue_index=1)
+        assert blk.queue(1).get_used() is not None
+        assert blk.queue(0).get_used() is None
+
+    def test_queue_for_request_is_stable_modulo(self):
+        blk = full_init(VirtioBlkDevice(n_queues=3))
+        assert blk.queue_for_request(7) is blk.queue(7 % 3)
+        assert blk.queue_for_request(7) is blk.queue_for_request(7)
+
+    def test_vq_is_queue_zero(self):
+        blk = full_init(VirtioBlkDevice(n_queues=4))
+        assert blk.vq is blk.queue(0)
+
+    def test_per_queue_request_tracker(self):
+        import repro.sim as sim_mod
+
+        sim = sim_mod.Simulator(seed=0)
+        blk = full_init(VirtioBlkDevice(n_queues=2))
+        head = blk.driver_read(0, 512, queue_index=1)
+        tracker = blk.request_tracker(sim, queue_index=1)
+        assert tracker.vq is blk.queue(1)
+        tracker.post(head)
+        assert tracker.inflight_heads() == [head]
