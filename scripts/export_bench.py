@@ -99,6 +99,17 @@ def _queue_config() -> dict:
     return spec_to_dict(HardwareProfile.paper().queues)
 
 
+def _topology_config() -> dict:
+    """The suite's fabric topology (TopologySpec of the default profile).
+
+    Same contract as ``_queue_config``: an enabled Clos fabric reroutes
+    every storage and network round trip, so rows from a routed suite
+    are incomparable with single-hop rows and ``diff_bench`` must
+    refuse rather than diff them.
+    """
+    return spec_to_dict(HardwareProfile.paper().topology)
+
+
 def _git_commit() -> str:
     try:
         out = subprocess.run(
@@ -194,6 +205,7 @@ def run(names=None, seed: int = 0, quick: bool = True, outdir: str = ".",
         "seed": seed,
         "quick": quick,
         "queue_config": _queue_config(),
+        "topology": _topology_config(),
     }
     report, experiment_results = merge_bench(job_list, results, header)
     report["elapsed_wall_s"] = round(time.perf_counter() - start, 6)
@@ -273,6 +285,7 @@ def run_warm_start(names=None, seed: int = 0, quick: bool = True,
         "seed": seed,
         "quick": quick,
         "queue_config": _queue_config(),
+        "topology": _topology_config(),
         "mode": "warm-start",
         "experiments": {},
     }

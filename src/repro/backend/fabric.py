@@ -5,13 +5,25 @@ requests are eventually forwarded to the cloud services through the
 server's shared (100Gbit/s) network interface", Section 3.4.3); the
 fabric between servers adds switching latency. The storage cluster is
 reachable over the same fabric.
+
+Two modes share this front door:
+
+* **single-hop** (the default, ``topology`` disabled): the legacy
+  model — one NIC serialization plus a fixed switch/propagation
+  latency, byte-identical to every pre-topology build;
+* **routed** (``topology.enabled``): traffic crosses the multi-hop
+  ToR/spine Clos of :class:`~repro.fabric.network.FabricNetwork`, leg
+  by leg with per-link bandwidth sharing and in-flight rerouting
+  around link/switch failures.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
+from repro.fabric.network import STORAGE_NODE, FabricNetwork
+from repro.fabric.topology import TopologySpec
 from repro.sim.resources import Resource
 
 __all__ = ["FabricSpec", "Fabric", "Nic"]
@@ -69,18 +81,37 @@ class Nic:
 
 
 class Fabric:
-    """The shared fabric: registered server NICs plus wire latency."""
+    """The shared fabric: registered server NICs plus wire latency.
 
-    def __init__(self, sim, spec: FabricSpec = FabricSpec()):
+    With a disabled (default) ``topology`` nothing multi-hop exists:
+    no :class:`FabricNetwork`, no extra participants, no RNG streams —
+    the object graph and event stream match the pre-topology build
+    byte for byte. An enabled ``topology`` builds the Clos and routes
+    every ``transmit``/``to_storage``/``from_storage`` through it.
+    """
+
+    def __init__(self, sim, spec: FabricSpec = FabricSpec(),
+                 topology: Optional[TopologySpec] = None):
         self.sim = sim
         self.spec = spec
+        self.topology = topology
         self.nics: Dict[str, Nic] = {}
+        self.network: Optional[FabricNetwork] = None
+        if topology is not None and topology.enabled:
+            self.network = FabricNetwork(sim, topology)
+
+    @property
+    def routed(self) -> bool:
+        """True when traffic crosses the multi-hop topology."""
+        return self.network is not None
 
     def attach(self, server_name: str) -> Nic:
         if server_name in self.nics:
             raise ValueError(f"server {server_name!r} already attached")
         nic = Nic(self.sim, self.spec.nic_gbps, name=f"{server_name}.nic")
         self.nics[server_name] = nic
+        if self.network is not None:
+            self.network.attach_server(server_name)
         return nic
 
     def transmit(self, src: str, dst: str, nbytes: int):
@@ -88,12 +119,18 @@ class Fabric:
         if src == dst:
             # Intra-server traffic never leaves the vSwitch.
             return
+        if self.network is not None:
+            yield from self.network.transfer(src, dst, nbytes)
+            return
         src_nic = self.nics[src]
         yield from src_nic.send(nbytes)
         yield self.sim.timeout(self.spec.switch_latency_s + self.spec.propagation_s)
 
     def to_storage(self, src: str, nbytes: int):
         """Process: one-way trip from ``src`` to the storage cluster."""
+        if self.network is not None:
+            yield from self.network.transfer(src, STORAGE_NODE, nbytes)
+            return
         src_nic = self.nics[src]
         yield from src_nic.send(nbytes)
         yield self.sim.timeout(self.spec.storage_cluster_rtt_s)
@@ -104,4 +141,7 @@ class Fabric:
 
     def from_storage(self, dst: str, nbytes: int):
         """Process: one-way trip from the storage cluster to ``dst``."""
+        if self.network is not None:
+            yield from self.network.transfer(STORAGE_NODE, dst, nbytes)
+            return
         yield self.sim.timeout(self.from_storage_time(nbytes))

@@ -142,7 +142,14 @@ class SpdkStorage:
             extra = self.spec.write_replicas - 1
             return_delay += extra * self.spec.replica_fanout_s
         if self.remote:
-            return_delay += self.fabric.from_storage_time(response_bytes)
+            if self.fabric.routed:
+                # Routed mode: the return hop is real fabric legs
+                # (per-link queueing, rerouting under faults) instead
+                # of a flat delay; only the reap stays folded below.
+                yield from self.fabric.from_storage(self.server_name,
+                                                    response_bytes)
+            else:
+                return_delay += self.fabric.from_storage_time(response_bytes)
         yield self.sim.timeout(return_delay)
         self.completed += 1
         self.worker_completed[worker] += 1

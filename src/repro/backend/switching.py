@@ -55,6 +55,20 @@ class MacTable:
         for mac in stale:
             del self._entries[mac]
 
+    def forget_port(self, port: str) -> int:
+        """Drop every MAC learned on ``port``; returns the count.
+
+        Aging alone cannot be trusted after a topology change: an
+        entry pointing at a dead port stays "fresh" for up to
+        ``aging_s`` (minutes) and silently blackholes every frame for
+        that MAC. Control-plane invalidation is the fix — the next
+        frame floods/relearns on a live port instead.
+        """
+        victims = [mac for mac, (p, _) in self._entries.items() if p == port]
+        for mac in victims:
+            del self._entries[mac]
+        return len(victims)
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -84,6 +98,19 @@ class FlowCache:
     def invalidate(self) -> None:
         self._flows.clear()
 
+    def invalidate_port(self, port: str) -> int:
+        """Drop every cached flow egressing ``port``; returns the count.
+
+        The flow cache never ages (that is the point of a cache on the
+        hot path), so entries outlive the port they point at unless the
+        control plane invalidates them on topology change — otherwise a
+        cached flow keeps steering frames into a failed uplink forever.
+        """
+        victims = [key for key, p in self._flows.items() if p == port]
+        for key in victims:
+            del self._flows[key]
+        return len(victims)
+
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
@@ -98,6 +125,7 @@ class ForwardingPlane:
         self.flows = FlowCache()
         self.forwarded_local = 0
         self.forwarded_uplink = 0
+        self.invalidations = 0
 
     def register_guest(self, mac: str, port: str) -> None:
         """Static entry for a guest's vNIC (the control plane knows it)."""
@@ -114,6 +142,32 @@ class ForwardingPlane:
         self.flows.put(src_mac, dst_mac, port)
         self._count(port)
         return port
+
+    def invalidate_port(self, port: str) -> int:
+        """Purge every table entry that steers frames into ``port``.
+
+        Called by the control plane when ``port`` loses its path (the
+        fabric link behind the uplink flapped, a guest port was torn
+        down). Both the flow cache (which never ages) and the MAC
+        table (whose aging is minutes, far longer than any flap) must
+        be purged together, or the stale one keeps blackholing frames.
+        Returns the number of entries dropped.
+        """
+        dropped = self.flows.invalidate_port(port)
+        dropped += self.macs.forget_port(port)
+        if dropped:
+            self.invalidations += 1
+        return dropped
+
+    def handle_link_change(self, network=None) -> int:
+        """Topology-change hook: re-validate the uplink's entries.
+
+        Wired as a :meth:`repro.fabric.network.FabricNetwork.
+        add_listener` callback — any reroute behind the physical NIC
+        invalidates flows pinned to the uplink so the next frame takes
+        a fresh forwarding decision on the post-change topology.
+        """
+        return self.invalidate_port(UPLINK_PORT)
 
     def _count(self, port: str) -> None:
         if port == UPLINK_PORT:

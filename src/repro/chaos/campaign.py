@@ -26,9 +26,10 @@ __all__ = ["CampaignConfig", "CampaignGenerator", "CHAOS_STREAM"]
 
 CHAOS_STREAM = "chaos.campaign"
 
-# (kind, weight) — the sampling mix over the PR-3 fault vocabulary.
+# (kind, weight) — the sampling mix over the fault vocabulary.
 # Crashes are down-weighted because each one costs a full supervisor
-# recovery (~62 ms) of simulated time.
+# recovery (~62 ms) of simulated time; switch crashes likewise drop
+# every incident link at once.
 DEFAULT_KIND_WEIGHTS = (
     ("pcie_flap", 1.0),
     ("dma_stall", 1.0),
@@ -36,6 +37,8 @@ DEFAULT_KIND_WEIGHTS = (
     ("hypervisor_crash", 0.5),
     ("backend_disconnect", 0.75),
     ("brownout", 1.0),
+    ("link_flap", 0.75),
+    ("switch_crash", 0.4),
 )
 
 
@@ -53,6 +56,13 @@ class CampaignConfig:
     horizon_s: float = 16e-3             # faults land in [0, horizon)
     targets: Tuple[str, ...] = ("g0", "g1")
     backend_targets: Tuple[str, ...] = ("vswitch", "storage")
+    # Fabric victims, matched to the runner's 2-rack/2-spine Clos.
+    # Every default victim leaves a redundant path through spine-1, so
+    # campaigns exercise rerouting without ever partitioning a server —
+    # a partition would (correctly) fail guest requests, which is
+    # outside the recoverable envelope this generator promises.
+    fabric_links: Tuple[str, ...] = ("spine-0|tor-0", "spine-0|storage")
+    fabric_switches: Tuple[str, ...] = ("spine-0",)
     kind_weights: Tuple[Tuple[str, float], ...] = DEFAULT_KIND_WEIGHTS
     faults_min: int = 2
     faults_max: int = 6
@@ -71,6 +81,8 @@ class CampaignConfig:
     disconnect_s: Tuple[float, float] = (1e-3, 8e-3)
     brownout_s: Tuple[float, float] = (1e-3, 10e-3)
     brownout_factor: Tuple[float, float] = (0.25, 0.9)
+    link_flap_s: Tuple[float, float] = (0.2e-3, 3e-3)
+    switch_down_s: Tuple[float, float] = (0.5e-3, 4e-3)
 
     def __post_init__(self):
         if self.horizon_s <= 0:
@@ -102,8 +114,16 @@ class CampaignGenerator:
         cfg = self.config
         rng = RandomStreams(seed).get(CHAOS_STREAM)
         n = int(rng.integers(cfg.faults_min, cfg.faults_max + 1))
-        kinds = [k for k, _ in cfg.kind_weights]
-        weights = [w for _, w in cfg.kind_weights]
+        # Fabric kinds only make sense with fabric victims configured;
+        # dropping targetless kinds *before* any draw keeps generation
+        # a pure function of (config, seed).
+        usable = [
+            (kind, weight) for kind, weight in cfg.kind_weights
+            if not (kind == "link_flap" and not cfg.fabric_links)
+            and not (kind == "switch_crash" and not cfg.fabric_switches)
+        ]
+        kinds = [k for k, _ in usable]
+        weights = [w for _, w in usable]
         total = sum(weights)
         faults: List[FaultSpec] = []
         prev_at = 0.0
@@ -163,6 +183,16 @@ class CampaignGenerator:
             return FaultSpec(kind=kind, target=pick_target(), at_s=at_s,
                              duration_s=span(cfg.brownout_s),
                              param=span(cfg.brownout_factor))
+        if kind == "link_flap":
+            link = cfg.fabric_links[
+                int(rng.integers(0, len(cfg.fabric_links)))]
+            return FaultSpec(kind=kind, target=link, at_s=at_s,
+                             duration_s=span(cfg.link_flap_s))
+        if kind == "switch_crash":
+            switch = cfg.fabric_switches[
+                int(rng.integers(0, len(cfg.fabric_switches)))]
+            return FaultSpec(kind=kind, target=switch, at_s=at_s,
+                             duration_s=span(cfg.switch_down_s))
         raise AssertionError(f"unhandled kind {kind!r}")
 
     def _enforce_crash_spacing(self, faults: List[FaultSpec]) -> List[FaultSpec]:

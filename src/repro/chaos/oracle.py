@@ -11,13 +11,20 @@ Backend-scoped faults (``backend_disconnect`` against the vSwitch or
 the storage fabric session) exercise the reconnect machinery but serve
 no guest datapath in the chaos testbed, so they leave every guest
 protected.
+
+Fabric-scoped faults (``link_flap``/``switch_crash``) are different:
+the multi-hop fabric is shared by every guest's remote traffic, so a
+rerouted transfer legitimately shifts timing for all co-tenants at
+once. No guest is protected under a plan containing them — the fabric
+invariant monitors (routing convergence, exactly-once transfer
+conservation) carry the correctness claim for those campaigns instead.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Tuple
 
-from repro.faults.spec import BACKEND_TARGETS, FaultPlan
+from repro.faults.spec import BACKEND_TARGETS, FABRIC_KINDS, FaultPlan
 
 __all__ = ["DifferentialOracle"]
 
@@ -28,7 +35,14 @@ class DifferentialOracle:
     @staticmethod
     def protected_guests(plan: FaultPlan,
                          guests: Iterable[str]) -> Tuple[str, ...]:
-        """Guests the plan never targets (backend faults target no guest)."""
+        """Guests the plan never targets (backend faults target no guest).
+
+        Fabric faults blast the shared network every guest rides on, so
+        a plan containing any :data:`FABRIC_KINDS` fault protects no
+        guest at all.
+        """
+        if any(spec.kind in FABRIC_KINDS for spec in plan.schedule()):
+            return ()
         targeted = {spec.target for spec in plan.schedule()
                     if spec.target not in BACKEND_TARGETS}
         return tuple(g for g in guests if g not in targeted)

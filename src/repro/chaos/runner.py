@@ -30,7 +30,13 @@ from repro.chaos.monitors import (
     Violation,
 )
 from repro.chaos.oracle import DifferentialOracle
+from repro.config.profile import HardwareProfile
 from repro.core.server import BmHiveServer
+from repro.fabric import (
+    RoutingInvariantMonitor,
+    TopologySpec,
+    TransferConservationMonitor,
+)
 from repro.faults import (
     AvailabilityAccounting,
     FaultInjector,
@@ -56,6 +62,11 @@ class ScenarioSpec:
     recovery of ~62 ms plus overlapping millisecond-scale faults).
     ``tail_s`` extends the run past the last request so crash
     recoveries and reconnect backoffs land inside the simulated window.
+    ``topology`` shapes the server's fabric; the default 2-rack/2-spine
+    Clos gives every fabric fault a redundant path to reroute over, so
+    the campaign envelope stays recoverable. ``TopologySpec()``
+    (disabled) falls back to the single-hop fabric, in which case
+    fabric fault kinds have no valid targets.
     """
 
     n_requests: int = 40
@@ -65,6 +76,8 @@ class ScenarioSpec:
         default_factory=lambda: RetryPolicy(timeout_s=20e-3, max_retries=10))
     monitor_period_s: float = 250e-6
     tail_s: float = 0.35
+    topology: TopologySpec = field(
+        default_factory=lambda: TopologySpec.clos(2, 2))
 
 
 @dataclass
@@ -218,7 +231,8 @@ class CampaignRunner:
     def _build_scenario(self, seed: int, plan: FaultPlan) -> ScenarioContext:
         spec = self.scenario
         sim = Simulator(seed=seed)
-        server = BmHiveServer(sim)
+        server = BmHiveServer(sim, profile=replace(
+            HardwareProfile.paper(), topology=spec.topology))
         tracer = Tracer(sim)
         accounting = AvailabilityAccounting(sim, tracer=tracer)
         supervisor = Supervisor(sim, accounting=accounting)
@@ -257,6 +271,14 @@ class CampaignRunner:
         monitors.append(ConservationMonitor(counters, buckets))
         monitors.append(AvailabilityMonitor(accounting))
         monitors.append(QuiescenceMonitor(loads))
+        if server.fabric.routed:
+            network = server.fabric.network
+            # Fabric outages share the same availability ledger as
+            # every other fault, and both runs (chaos + baseline)
+            # police routing convergence and transfer conservation.
+            network.accounting = accounting
+            monitors.append(RoutingInvariantMonitor(network))
+            monitors.append(TransferConservationMonitor(network))
 
         ctx = ScenarioContext(sim=sim, server=server, loads=loads,
                               supervisor=supervisor, accounting=accounting,

@@ -33,6 +33,7 @@ from repro.backend.fabric import FabricSpec
 from repro.backend.media import CLOUD_SSD, LOCAL_NVME, SsdSpec
 from repro.backend.spdk import SpdkSpec
 from repro.backend.tap import TapSpec
+from repro.fabric.topology import TopologySpec
 from repro.guest.kernel import KernelSpec
 from repro.hw.board import ChassisSpec
 from repro.hw.dma import DmaEngineSpec
@@ -130,6 +131,10 @@ class HardwareProfile:
     poll: PollSpec = field(default_factory=PollSpec)
     queues: QueueSpec = field(default_factory=QueueSpec)
     chassis: ChassisSpec = field(default_factory=ChassisSpec)
+    # Multi-hop fabric shape (repro.fabric). The default is disabled
+    # (``n_racks=0``): no FabricNetwork is constructed and the
+    # single-hop fabric stays byte-identical to pre-topology builds.
+    topology: TopologySpec = field(default_factory=TopologySpec)
     # Optional fault schedule (repro.faults). ``None`` — the default
     # everywhere — means no fault machinery is even constructed, so
     # fault-free profiles stay bit-identical to pre-faults builds.

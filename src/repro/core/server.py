@@ -62,13 +62,19 @@ class BmHiveServer:
         self.name = name
         self.profile = profile or HardwareProfile.paper()
         backend = self.profile.backend
-        self.fabric = fabric or Fabric(sim, backend.fabric)
+        self.fabric = fabric or Fabric(sim, backend.fabric,
+                                       topology=self.profile.topology)
         self.nic = self.fabric.attach(name)
         self.chassis = Chassis(sim, chassis_spec or self.profile.chassis)
         queues = self.profile.queues
         self.vswitch = DpdkVSwitch(sim, backend.dpdk, name=f"{name}.vswitch",
                                    poll_mode=backend.poll_mode,
                                    n_workers=queues.backend_workers)
+        if self.fabric.routed:
+            # Fabric reroutes must invalidate forwarding state pinned
+            # to the uplink, not wait minutes for MAC aging.
+            self.fabric.network.add_listener(
+                self.vswitch.forwarding.handle_link_change)
         media = backend.local_media if local_storage else backend.cloud_media
         self.storage = SpdkStorage(
             sim, self.fabric, name, spec=backend.spdk, media=media,
@@ -273,13 +279,17 @@ class VirtServer:
         self.name = name
         self.profile = profile or HardwareProfile.paper()
         backend = self.profile.backend
-        self.fabric = fabric or Fabric(sim, backend.fabric)
+        self.fabric = fabric or Fabric(sim, backend.fabric,
+                                       topology=self.profile.topology)
         self.nic = self.fabric.attach(name)
         self.cpu_model = cpu_model or self.profile.guest.cpu_model
         queues = self.profile.queues
         self.vswitch = DpdkVSwitch(sim, backend.dpdk, name=f"{name}.vswitch",
                                    poll_mode=backend.poll_mode,
                                    n_workers=queues.backend_workers)
+        if self.fabric.routed:
+            self.fabric.network.add_listener(
+                self.vswitch.forwarding.handle_link_change)
         media = backend.local_media if local_storage else backend.cloud_media
         self.storage = SpdkStorage(
             sim, self.fabric, name, spec=backend.spdk, media=media,

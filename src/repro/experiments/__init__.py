@@ -11,6 +11,7 @@ from repro.experiments import (
     ablations,
     chaos_campaign,
     cost,
+    cross_rack,
     fig1,
     fig7,
     fig8,
@@ -24,6 +25,7 @@ from repro.experiments import (
     fig16,
     fault_isolation,
     future_work,
+    incast,
     iobond_micro,
     mq_ablation,
     nested,
@@ -41,7 +43,7 @@ ALL_EXPERIMENTS: Dict[str, Callable] = {
         table1, table2, table3,
         fig1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16,
         cost, nested, iobond_micro, mq_ablation, security_exp, ablations,
-        future_work, fault_isolation, chaos_campaign,
+        future_work, fault_isolation, chaos_campaign, cross_rack, incast,
     )
 }
 

@@ -30,6 +30,7 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.backend.limits import RateLimits
 from repro.config.profile import HardwareProfile, QueueSpec
+from repro.fabric.topology import TopologySpec
 from repro.core.guests import BmGuest, PhysicalMachine, VmGuest
 from repro.core.server import BmHiveServer, VirtServer
 from repro.guest.image import VmImage
@@ -81,6 +82,10 @@ class TestbedConfig:
     net_queue_pairs: int = 1
     backend_workers: int = 1
     passthrough: bool = False
+    # Fabric shape (frozen dataclass of plain scalars, so it pickles
+    # and hashes like every other field). The disabled default keeps
+    # old configs equal to new ones and the single-hop fabric intact.
+    topology: TopologySpec = field(default_factory=TopologySpec)
 
 
 @dataclass
@@ -141,6 +146,7 @@ class TestbedBuilder:
         self._net_queue_pairs = 1
         self._backend_workers = 1
         self._passthrough = False
+        self._topology = TopologySpec()
 
     # -- fluent knobs ------------------------------------------------------
     def seed(self, seed: int) -> "TestbedBuilder":
@@ -193,6 +199,15 @@ class TestbedBuilder:
         self._passthrough = bool(passthrough)
         return self
 
+    def topology(self, spec: TopologySpec) -> "TestbedBuilder":
+        """Route backend traffic over a multi-hop fabric (see
+        :class:`~repro.fabric.topology.TopologySpec`). The default
+        (disabled) spec keeps the historical single-hop fabric."""
+        if not isinstance(spec, TopologySpec):
+            raise TypeError(f"expected a TopologySpec, got {type(spec).__name__}")
+        self._topology = spec
+        return self
+
     # -- config round-trip -------------------------------------------------
     def to_config(self, image_name: str = DEFAULT_WARM_IMAGE) -> TestbedConfig:
         """Freeze this builder into a picklable :class:`TestbedConfig`."""
@@ -213,6 +228,7 @@ class TestbedBuilder:
             net_queue_pairs=self._net_queue_pairs,
             backend_workers=self._backend_workers,
             passthrough=self._passthrough,
+            topology=self._topology,
         )
 
     @classmethod
@@ -227,7 +243,8 @@ class TestbedBuilder:
                    .queues(blk=config.blk_queues,
                            net_pairs=config.net_queue_pairs,
                            workers=config.backend_workers,
-                           passthrough=config.passthrough))
+                           passthrough=config.passthrough)
+                   .topology(config.topology))
         if config.profile_name is not None:
             builder.profile(config.profile_name)
         return builder
@@ -253,6 +270,11 @@ class TestbedBuilder:
                 backend_workers=self._backend_workers,
                 passthrough=self._passthrough,
             ))
+        if self._topology.enabled:
+            # Same non-default-only rule as queues: a disabled topology
+            # leaves the preset profile object untouched, keeping the
+            # historical single-hop object graph bit-identical.
+            profile = dc_replace(profile, topology=self._topology)
         limits = self._limits or RateLimits.standard()
 
         hives: List[BmHiveServer] = []

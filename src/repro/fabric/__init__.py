@@ -1,0 +1,34 @@
+"""The multi-hop datacenter fabric: topology, routing, and rerouting.
+
+The paper's evaluation treats the network beyond each server's shared
+100 Gb/s NIC as a single fixed-latency hop (Section 3.4.3). This
+package models what that hop abstracts away: a ToR/spine Clos fabric
+with per-rack IP allocation, per-link latency/bandwidth/failure state,
+link-state (Dijkstra) routing tables that recompute when the topology
+changes, and per-hop transfers that reroute in flight when a link or
+switch fails under them.
+
+The default :class:`TopologySpec` is *disabled* (``n_racks=0``): every
+pre-existing experiment keeps the single-hop fabric object graph —
+and its event stream — byte for byte.
+"""
+
+from repro.fabric.addressing import IpAllocator
+from repro.fabric.monitors import (
+    RoutingInvariantMonitor,
+    TransferConservationMonitor,
+)
+from repro.fabric.network import FabricLink, FabricNetwork
+from repro.fabric.routing import RoutingTables, dijkstra
+from repro.fabric.topology import TopologySpec
+
+__all__ = [
+    "TopologySpec",
+    "IpAllocator",
+    "RoutingTables",
+    "dijkstra",
+    "FabricLink",
+    "FabricNetwork",
+    "RoutingInvariantMonitor",
+    "TransferConservationMonitor",
+]

@@ -1,0 +1,77 @@
+"""Per-rack IP allocation for the fabric's control plane.
+
+Rack ``r`` owns ``10.r.0.0/16``: its ToR takes ``10.r.0.1`` and the
+servers homed on it take ``10.r.1.k`` in attach order. Spines live in
+``10.255.0.0/24`` and the storage cluster frontend is ``10.254.0.1``.
+Allocation is purely positional (rack index + attach order), so the
+same build recipe always yields the same address map — addresses can
+appear in reports without threatening byte-stability.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+__all__ = ["IpAllocator"]
+
+SPINE_NET = 255
+STORAGE_NET = 254
+STORAGE_IP = f"10.{STORAGE_NET}.0.1"
+
+
+class IpAllocator:
+    """Deterministic rack-scoped IPv4 assignment."""
+
+    def __init__(self, n_racks: int):
+        if not 1 <= n_racks <= 253:
+            raise ValueError(f"n_racks must be in [1, 253], got {n_racks}")
+        self.n_racks = n_racks
+        self._servers: Dict[str, Tuple[int, str]] = {}  # name -> (rack, ip)
+        self._hosts_per_rack = [0] * n_racks
+
+    # -- fixed infrastructure addresses --------------------------------
+    def subnet(self, rack: int) -> str:
+        self._check_rack(rack)
+        return f"10.{rack}.0.0/16"
+
+    def tor_ip(self, rack: int) -> str:
+        self._check_rack(rack)
+        return f"10.{rack}.0.1"
+
+    def spine_ip(self, index: int) -> str:
+        if not 0 <= index <= 253:
+            raise ValueError(f"spine index must be in [0, 253], got {index}")
+        return f"10.{SPINE_NET}.0.{index + 1}"
+
+    @property
+    def storage_ip(self) -> str:
+        return STORAGE_IP
+
+    # -- server assignment ---------------------------------------------
+    def assign(self, name: str, rack: int) -> str:
+        """Allocate the next host address in ``rack`` for ``name``."""
+        self._check_rack(rack)
+        if name in self._servers:
+            raise ValueError(f"server {name!r} already has an address")
+        host = self._hosts_per_rack[rack]
+        if host >= 254:
+            raise ValueError(f"rack {rack} host range exhausted")
+        self._hosts_per_rack[rack] = host + 1
+        ip = f"10.{rack}.1.{host + 1}"
+        self._servers[name] = (rack, ip)
+        return ip
+
+    def ip_of(self, name: str) -> str:
+        return self._servers[name][1]
+
+    def rack_of(self, name: str) -> int:
+        return self._servers[name][0]
+
+    @property
+    def servers(self) -> Tuple[str, ...]:
+        return tuple(self._servers)
+
+    def _check_rack(self, rack: int) -> None:
+        if not 0 <= rack < self.n_racks:
+            raise ValueError(
+                f"rack must be in [0, {self.n_racks}), got {rack}")

@@ -42,17 +42,40 @@ class FaultInjector:
             raise RuntimeError("fault plan already armed")
         self._armed = True
         guests = tuple(g.name for g in server.guests)
-        bad = sorted({
-            spec.target for spec in self.plan.schedule()
-            if spec.kind != "backend_disconnect" and spec.target not in guests
-        })
+        network = getattr(server.fabric, "network", None)
+        links = tuple(network.link_names) if network is not None else ()
+        switches = tuple(network.switches) if network is not None else ()
+        if network is not None and self.accounting is not None \
+                and network.accounting is None:
+            # Fabric outages and degraded paths land in the same
+            # availability ledger as every other fault.
+            network.accounting = self.accounting
+
+        def valid(spec: FaultSpec) -> bool:
+            if spec.kind == "backend_disconnect":
+                return True  # FaultSpec already pinned the target
+            if spec.kind == "link_flap":
+                return spec.target in links
+            if spec.kind == "switch_crash":
+                return spec.target in switches
+            return spec.target in guests
+
+        bad = sorted({spec.target for spec in self.plan.schedule()
+                      if not valid(spec)})
         if bad:
+            fabric_hint = (
+                f"valid fabric links: {', '.join(links)}; "
+                f"valid switches: {', '.join(switches)}"
+                if network is not None else
+                "no multi-hop fabric on this server (topology disabled), "
+                "so link_flap/switch_crash have no targets"
+            )
             raise KeyError(
                 f"fault plan names unknown target(s) "
                 f"{', '.join(repr(t) for t in bad)} on {server.name}; "
                 f"valid guests: {', '.join(guests) or '(none)'}; "
                 f"valid backend targets (backend_disconnect only): "
-                f"{', '.join(BACKEND_TARGETS)}"
+                f"{', '.join(BACKEND_TARGETS)}; {fabric_hint}"
             )
         for spec in self.plan.schedule():
             self.sim.spawn(self._deliver(server, spec),
@@ -92,6 +115,12 @@ class FaultInjector:
         elif spec.kind == "brownout":
             guest = self._guest(server, spec.target)
             yield from self._brownout(guest.limiters, spec)
+        elif spec.kind == "link_flap":
+            yield from server.fabric.network.flap_link(
+                spec.target, spec.duration_s)
+        elif spec.kind == "switch_crash":
+            yield from server.fabric.network.crash_switch(
+                spec.target, spec.duration_s)
         else:  # unreachable: FaultSpec validates the kind
             raise AssertionError(f"unhandled fault kind {spec.kind!r}")
 

@@ -24,15 +24,18 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterable, Sequence, Tuple
 
-__all__ = ["FAULT_KINDS", "BACKEND_TARGETS", "FaultSpec", "FaultPlan"]
+__all__ = ["FAULT_KINDS", "BACKEND_TARGETS", "FABRIC_KINDS",
+           "FaultSpec", "FaultPlan"]
 
-# The fault taxonomy, one kind per failable layer (DESIGN.md §7):
+# The fault taxonomy, one kind per failable layer (DESIGN.md §7, §12):
 #   pcie_flap          hw/pcie      link down + retrain delay
 #   dma_stall          iobond       DMA engine frozen for a window
 #   mailbox_timeout    iobond       forwarded PCI accesses miss their ack
 #   hypervisor_crash   hypervisor   the per-guest backend process dies
 #   backend_disconnect backend      vSwitch/SPDK vhost-user session drop
 #   brownout           backend      token-bucket rates scaled down
+#   link_flap          fabric       one fabric link down for a window
+#   switch_crash       fabric       a ToR/spine dies with all its links
 FAULT_KINDS = (
     "pcie_flap",
     "dma_stall",
@@ -40,10 +43,20 @@ FAULT_KINDS = (
     "hypervisor_crash",
     "backend_disconnect",
     "brownout",
+    "link_flap",
+    "switch_crash",
 )
 
 # backend_disconnect targets name a backend, not a guest.
 BACKEND_TARGETS = ("vswitch", "storage")
+
+# Fabric-scoped kinds target a link name ("a|b", sorted endpoints) or
+# a switch name ("tor-N"/"spine-N") on the server's FabricNetwork —
+# never a guest. Their blast radius is the shared fabric: every
+# co-tenant's remote traffic may legitimately shift, so the
+# differential oracle treats no guest as protected under them (the
+# fabric invariant monitors carry the correctness claim instead).
+FABRIC_KINDS = ("link_flap", "switch_crash")
 
 
 @dataclass(frozen=True)
@@ -86,6 +99,16 @@ class FaultSpec:
             known = ", ".join(BACKEND_TARGETS)
             raise ValueError(
                 f"backend_disconnect target must be one of {known}, "
+                f"got {self.target!r}"
+            )
+        if self.kind == "link_flap" and "|" not in self.target:
+            raise ValueError(
+                f"link_flap target must be a fabric link name 'a|b', "
+                f"got {self.target!r}"
+            )
+        if self.kind == "switch_crash" and "|" in self.target:
+            raise ValueError(
+                f"switch_crash target must be a switch name, not a link, "
                 f"got {self.target!r}"
             )
 
@@ -171,6 +194,13 @@ class FaultPlan:
         mean spacing ``mean_interval_s``, truncated at ``horizon_s``.
         The draw order is fixed (targets outer, kinds inner, arrivals
         in time order), so the same seed always yields the same plan.
+
+        Fabric kinds pair only with targets of their shape — a link
+        name (``"a|b"``) for ``link_flap``, a switch name for
+        ``switch_crash`` — so a mixed guest/fabric target list draws
+        each kind against its own victims. Incompatible pairs are
+        skipped *before* any draw, leaving legacy (guest-kind-only)
+        sampling sequences untouched.
         """
         if horizon_s <= 0:
             raise ValueError(f"horizon must be positive, got {horizon_s}")
@@ -178,6 +208,12 @@ class FaultPlan:
         faults = []
         for target in targets:
             for kind in kinds:
+                if kind == "link_flap" and "|" not in target:
+                    continue
+                if kind == "switch_crash" and "|" in target:
+                    continue
+                if kind not in FABRIC_KINDS and "|" in target:
+                    continue
                 t = float(rng.exponential(mean_interval_s))
                 while t < horizon_s:
                     faults.append(FaultSpec(

@@ -112,6 +112,24 @@ def bench_diff(a: dict, b: dict,
                     for key in changed)
             ]
 
+    # Same story for the fabric topology: a routed Clos suite times
+    # every transfer hop-by-hop, so its rows can never match single-hop
+    # rows and a row diff would just be noise.
+    if "topology" not in ignored:
+        topo_a = a.get("topology")
+        topo_b = b.get("topology")
+        if topo_a is not None and topo_b is not None and topo_a != topo_b:
+            changed = sorted(
+                key for key in set(topo_a) | set(topo_b)
+                if topo_a.get(key) != topo_b.get(key))
+            return [
+                "topology mismatch — reports were produced under "
+                "different fabric topologies and are not comparable: "
+                + ", ".join(
+                    f"{key}: {topo_a.get(key)!r} vs {topo_b.get(key)!r}"
+                    for key in changed)
+            ]
+
     def walk(path: str, left, right) -> None:
         if isinstance(left, dict) and isinstance(right, dict):
             for key in sorted(set(left) | set(right)):

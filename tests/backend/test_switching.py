@@ -89,3 +89,70 @@ class TestForwardingPlane:
         plane = ForwardingPlane(sim)
         plane.forward("newcomer", "whoever", "port-x")
         assert plane.macs.lookup("newcomer") == "port-x"
+
+
+class TestLinkChangeInvalidation:
+    """Topology changes must purge forwarding state, not wait for aging.
+
+    Regression scenario: a remote peer's MAC and flow-cache entry are
+    pinned to the uplink; a fabric link flap reroutes the path, and a
+    plane that kept serving the stale entries would keep committing
+    frames to the dead path (a blackhole lasting until 300 s MAC
+    aging). ``handle_link_change`` is the control-plane fix.
+    """
+
+    def test_link_change_purges_uplink_state_only(self, sim):
+        plane = ForwardingPlane(sim)
+        plane.register_guest("mac-a", "port-a")
+        # Remote peer learned from ingress traffic on the uplink; the
+        # reply path populates the flow cache with an uplink egress.
+        plane.forward("remote-mac", "mac-a", UPLINK_PORT)
+        plane.forward("mac-a", "remote-mac", "port-a")
+        plane.forward("mac-a", "remote-mac", "port-a")
+        assert plane.flows.get("mac-a", "remote-mac") == UPLINK_PORT
+        assert plane.macs.lookup("remote-mac") == UPLINK_PORT
+
+        dropped = plane.handle_link_change()
+
+        assert dropped >= 2  # the flow entry and the MAC entry
+        assert plane.invalidations == 1
+        # Stale uplink state is gone...
+        assert plane.flows.get("mac-a", "remote-mac") is None
+        assert plane.macs.lookup("remote-mac") is None
+        # ...but local guests are untouched: no collateral relearning.
+        assert plane.macs.lookup("mac-a") == "port-a"
+
+    def test_without_invalidation_stale_entry_survives_for_minutes(self, sim):
+        """The bug being guarded against: aging alone is far too slow."""
+        plane = ForwardingPlane(sim)
+        plane.forward("remote-mac", "mac-a", UPLINK_PORT)
+        sim.run(until=10.0)  # well past any flap, well under aging_s
+        assert plane.macs.lookup("remote-mac") == UPLINK_PORT
+
+    def test_fabric_recompute_drives_the_listener(self):
+        """End-to-end: a link flap on the routed fabric invalidates the
+        vSwitch uplink state via the FabricNetwork listener."""
+        from dataclasses import replace
+
+        from repro.config.profile import HardwareProfile
+        from repro.core.server import BmHiveServer
+        from repro.fabric import TopologySpec
+        from repro.sim import Simulator
+
+        sim = Simulator(seed=91)
+        profile = replace(HardwareProfile.paper(),
+                          topology=TopologySpec.clos(2, 2))
+        server = BmHiveServer(sim, profile=profile)
+        plane = server.vswitch.forwarding
+        plane.forward("remote-mac", "mac-a", UPLINK_PORT)
+        assert plane.macs.lookup("remote-mac") == UPLINK_PORT
+
+        sim.spawn(server.fabric.network.flap_link("spine-0|tor-0", 1e-3),
+                  name="test.flap")
+        sim.run(until=2e-3)
+
+        # Fail and restore both recompute routes; the first purge drops
+        # the stale entry, the second finds nothing left to drop (and
+        # by design does not count as an invalidation).
+        assert plane.invalidations == 1
+        assert plane.macs.lookup("remote-mac") is None

@@ -40,6 +40,10 @@ class TestEnvelopes:
                 assert 0.0 <= fault.at_s <= cfg.horizon_s
                 if fault.kind == "backend_disconnect":
                     assert fault.target in BACKEND_TARGETS
+                elif fault.kind == "link_flap":
+                    assert fault.target in cfg.fabric_links
+                elif fault.kind == "switch_crash":
+                    assert fault.target in cfg.fabric_switches
                 else:
                     assert fault.target in cfg.targets
 
@@ -51,6 +55,8 @@ class TestEnvelopes:
             "mailbox_timeout": cfg.mailbox_window_s,
             "backend_disconnect": cfg.disconnect_s,
             "brownout": cfg.brownout_s,
+            "link_flap": cfg.link_flap_s,
+            "switch_crash": cfg.switch_down_s,
         }
         for seed in range(30):
             for fault in gen.plan(seed).schedule():

@@ -1,0 +1,218 @@
+"""FabricNetwork: transfers, failures, rerouting, snapshot protocol."""
+
+import pytest
+
+from repro.fabric import (
+    FabricNetwork,
+    RoutingInvariantMonitor,
+    TopologySpec,
+    TransferConservationMonitor,
+)
+from repro.fabric.network import STORAGE_NODE
+from repro.sim import Simulator
+from repro.virtio.reliability import RetryExhausted
+
+KIB = 1024
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=404)
+
+
+@pytest.fixture
+def net(sim):
+    network = FabricNetwork(sim, TopologySpec.clos(n_racks=2, n_spines=2))
+    network.attach_server("s0")
+    network.attach_server("s1")
+    return network
+
+
+def run_transfer(sim, net, src, dst, nbytes):
+    return sim.run_process(net.transfer(src, dst, nbytes))
+
+
+class TestTopologyWiring:
+    def test_clos_link_set(self, net):
+        assert net.link_names == (
+            "s0|tor-0", "s1|tor-1",
+            "spine-0|storage", "spine-0|tor-0", "spine-0|tor-1",
+            "spine-1|storage", "spine-1|tor-0", "spine-1|tor-1",
+        )
+        assert net.switches == ("tor-0", "tor-1", "spine-0", "spine-1")
+
+    def test_servers_get_rack_local_ips(self, net):
+        assert net.ip.ip_of("s0") == "10.0.1.1"
+        assert net.ip.ip_of("s1") == "10.1.1.1"
+        assert net.rack_of("s1") == 1
+
+    def test_disabled_spec_rejected(self, sim):
+        with pytest.raises(ValueError):
+            FabricNetwork(sim, TopologySpec())
+
+
+class TestTransfers:
+    def test_contention_free_transfer_matches_predicted_time(self, sim, net):
+        predicted = net.transfer_time("s0", STORAGE_NODE, 4 * KIB)
+        start = sim.now
+        run_transfer(sim, net, "s0", STORAGE_NODE, 4 * KIB)
+        assert sim.now - start == pytest.approx(predicted)
+        assert net.transfers_delivered == 1
+        assert net.bytes_delivered == 4 * KIB
+
+    def test_transfer_to_unknown_node_rejected(self, sim, net):
+        with pytest.raises(KeyError):
+            sim.run_process(net.transfer("s0", "nowhere", KIB))
+
+    def test_pre_failed_link_routes_around_without_reroute(self, sim, net):
+        # Failure *before* the transfer starts: the recomputed tables
+        # already avoid spine-0, so this is not an in-flight reroute.
+        net.fail_link("spine-0|tor-0")
+        assert net.tables.path("s0", STORAGE_NODE) == \
+            ["s0", "tor-0", "spine-1", "storage"]
+        run_transfer(sim, net, "s0", STORAGE_NODE, 4 * KIB)
+        assert net.transfers_delivered == 1
+        assert net.reroutes == 0
+
+    def test_mid_flight_flap_reroutes_exactly_once(self, sim, net):
+        done = []
+
+        def sender():
+            yield from net.transfer("s0", STORAGE_NODE, 64 * KIB)
+            done.append(sim.now)
+
+        def flapper():
+            # Land inside the first leg's serialization window.
+            yield sim.timeout(1e-6)
+            yield from net.flap_link("s0|tor-0", 3e-6)
+
+        sim.spawn(sender(), name="t.sender")
+        sim.spawn(flapper(), name="t.flapper")
+        sim.run()
+        assert len(done) == 1
+        assert net.transfers_delivered == 1
+        assert net.reroutes >= 1
+        assert net.degraded_deliveries == 1
+        assert net.duplicate_deliveries == 0
+        assert net.transfers_failed == 0
+
+    def test_partitioned_host_raises_retry_exhausted(self, sim, net):
+        net.fail_link("s0|tor-0")  # the only path out of s0
+        with pytest.raises(RetryExhausted):
+            run_transfer(sim, net, "s0", STORAGE_NODE, KIB)
+        assert net.transfers_failed == 1
+        assert net.in_flight == 0
+
+    def test_switch_crash_drops_and_restores_incident_links(self, sim, net):
+        crashed = sim.spawn(net.crash_switch("spine-0", 5e-6), name="t.crash")
+        sim.run_process(_join(crashed))
+        for name in ("spine-0|storage", "spine-0|tor-0", "spine-0|tor-1"):
+            assert net.link(name).up
+        # tor links and the storage link each flapped exactly once.
+        assert net.link("spine-0|storage").down_count == 1
+
+    def test_unknown_switch_rejected(self, sim, net):
+        with pytest.raises(KeyError):
+            sim.run_process(net.crash_switch("spine-9", 1e-6))
+
+
+def _join(proc):
+    yield proc
+
+
+class TestMonitorsAndAccounting:
+    def test_monitors_stay_clean_through_a_flap(self, sim, net):
+        routing = RoutingInvariantMonitor(net)
+        conservation = TransferConservationMonitor(net)
+
+        def sender():
+            for _ in range(4):
+                yield from net.transfer("s0", STORAGE_NODE, 16 * KIB)
+
+        sim.spawn(sender(), name="t.sender")
+        sim.spawn(net.flap_link("spine-0|tor-0", 4e-6), name="t.flap")
+
+        violations = []
+
+        def sampler():
+            for _ in range(40):
+                violations.extend(routing.observe(sim))
+                violations.extend(conservation.observe(sim))
+                yield sim.timeout(1e-6)
+
+        sim.spawn(sampler(), name="t.sampler")
+        sim.run()
+        violations.extend(routing.at_end(sim))
+        violations.extend(conservation.at_end(sim))
+        assert violations == []
+        assert net.transfers_delivered == 4
+
+    def test_monitors_flag_planted_violations(self, sim, net):
+        routing = RoutingInvariantMonitor(net)
+        conservation = TransferConservationMonitor(net)
+        assert list(routing.observe(sim)) == []
+        # Stale tables: topology moved but tables did not.
+        net.topology_version += 1
+        assert any("not converged" in m for m in routing.observe(sim))
+        net.topology_version -= 1
+        # Conservation: a started transfer that never settles anywhere.
+        net.transfers_started += 1
+        assert any("conservation" in m for m in conservation.observe(sim))
+
+    def test_accounting_records_link_spans_and_degraded_paths(self, sim, net):
+        from repro.faults.accounting import AvailabilityAccounting
+
+        accounting = AvailabilityAccounting(sim)
+        net.accounting = accounting
+
+        def sender():
+            yield from net.transfer("s0", STORAGE_NODE, 64 * KIB)
+
+        def flapper():
+            yield sim.timeout(1e-6)
+            yield from net.flap_link("s0|tor-0", 3e-6)
+
+        sim.spawn(sender(), name="t.sender")
+        sim.spawn(flapper(), name="t.flapper")
+        sim.run()
+        accounting.finalize()
+        summary = accounting.summary("link:s0|tor-0")
+        assert summary["downtime_s"] == pytest.approx(3e-6)
+        # The degraded delivery is charged against the fabric itself.
+        assert accounting.summary("fabric")["faults"] == 1
+
+
+class TestSnapshotRestore:
+    def test_counters_and_link_state_round_trip(self, sim, net):
+        run_transfer(sim, net, "s0", STORAGE_NODE, 4 * KIB)
+        run_transfer(sim, net, STORAGE_NODE, "s1", 8 * KIB)
+        net.fail_link("spine-0|tor-0")
+        snap = net.snapshot_state()
+
+        sim2 = Simulator(seed=404)
+        net2 = FabricNetwork(sim2, TopologySpec.clos(n_racks=2, n_spines=2))
+        net2.attach_server("s0")
+        net2.attach_server("s1")
+        net2.restore_state(snap)
+
+        assert net2.transfers_delivered == 2
+        assert net2.bytes_delivered == 12 * KIB
+        assert not net2.link("spine-0|tor-0").up
+        # Restored tables route around the restored failure.
+        assert net2.tables.path("s0", STORAGE_NODE) == \
+            ["s0", "tor-0", "spine-1", "storage"]
+        # Fresh transfer ids continue after the restored counter: no
+        # collision with delivered ids, so no phantom duplicates.
+        sim2.run_process(net2.transfer("s0", STORAGE_NODE, KIB))
+        assert net2.duplicate_deliveries == 0
+        assert net2.transfers_delivered == 3
+
+    def test_snapshot_rejected_with_transfers_in_flight(self, sim, net):
+        def sender():
+            yield from net.transfer("s0", STORAGE_NODE, 64 * KIB)
+
+        sim.spawn(sender(), name="t.sender")
+        sim.run(until=1e-6)  # mid-serialization
+        assert net.in_flight == 1
+        with pytest.raises(RuntimeError, match="in.?flight"):
+            net.snapshot_state()

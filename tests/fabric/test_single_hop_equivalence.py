@@ -1,0 +1,71 @@
+"""Seed-for-seed equivalence gate for the fabric topology refactor.
+
+The refactor threads ``HardwareProfile.topology`` through
+``Fabric``/``BmHiveServer``/``VirtServer``/``SpdkStorage``. With the
+default (disabled) spec no ``FabricNetwork`` exists and the legacy
+single-hop arithmetic runs verbatim — so the pre-topology golden rows
+for fig9 (net PPS) and fig11 (storage IOPS/latency) must reproduce bit
+for bit, under both doorbell idle-skip modes. A diff here means the
+default path stopped being a no-op.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import fig9, fig11
+from repro.sim import set_idle_skip_default
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "..", "experiments",
+                           "golden_paper_profile.json")
+GOLDEN_EXPERIMENTS = {"fig9": fig9, "fig11": fig11}
+
+
+@pytest.fixture(params=[True, False], ids=["idle_skip_on", "idle_skip_off"])
+def idle_skip(request):
+    old = set_idle_skip_default(request.param)
+    yield request.param
+    set_idle_skip_default(old)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+class TestSingleHopDefaultIsByteIdentical:
+    @pytest.mark.parametrize("exp_id", sorted(GOLDEN_EXPERIMENTS))
+    def test_golden_rows_reproduce_under_both_idle_skip_modes(
+            self, golden, idle_skip, exp_id):
+        result = GOLDEN_EXPERIMENTS[exp_id].run(seed=0, quick=True)
+        assert result.rows == golden[exp_id]["rows"]
+        observed = [(c.name, c.passed) for c in result.checks]
+        expected = [tuple(c) for c in golden[exp_id]["checks"]]
+        assert observed == expected
+
+    def test_routed_mode_changes_storage_timing(self, idle_skip):
+        """The complement: an *enabled* topology is not a silent no-op —
+        storage round trips really ride the multi-hop fabric."""
+        from dataclasses import replace
+
+        from repro.backend.limits import RateLimits
+        from repro.config.profile import HardwareProfile
+        from repro.core.server import BmHiveServer
+        from repro.fabric import TopologySpec
+        from repro.sim import Simulator
+
+        def read_latency(topology):
+            sim = Simulator(seed=5)
+            profile = replace(HardwareProfile.paper(), topology=topology)
+            server = BmHiveServer(sim, profile=profile)
+            guest = server.launch_guest(limits=RateLimits.unrestricted())
+            sim.run_process(server.storage.submit(
+                guest.limiters, 4096, is_read=True))
+            return sim.now
+
+        single = read_latency(TopologySpec())
+        routed = read_latency(TopologySpec.clos(2, 2))
+        assert routed != single
+        assert routed > 0 and single > 0

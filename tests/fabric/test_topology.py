@@ -1,0 +1,72 @@
+"""TopologySpec validation and per-rack IP allocation."""
+
+import pytest
+
+from repro.fabric import IpAllocator, TopologySpec
+from repro.fabric.addressing import STORAGE_IP
+
+
+class TestTopologySpec:
+    def test_default_is_disabled_single_hop(self):
+        spec = TopologySpec()
+        assert spec.n_racks == 0
+        assert not spec.enabled
+
+    def test_clos_preset_is_enabled(self):
+        spec = TopologySpec.clos(2, 2)
+        assert spec.enabled
+        assert spec.n_racks == 2 and spec.n_spines == 2
+
+    def test_single_hop_preset_matches_default(self):
+        assert TopologySpec.single_hop() == TopologySpec()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"n_racks": -1},
+        {"n_racks": 254},          # 10.{rack}.0.0/16 leaves 253 racks
+        {"n_racks": 2, "n_spines": 0},
+        {"n_racks": 2, "max_retries": 0},
+        {"n_racks": 2, "retry_backoff_s": 0.0},
+        {"n_racks": 2, "retry_backoff_s": 1e-3, "retry_backoff_cap_s": 1e-6},
+        {"n_racks": 2, "link_latency_s": 0.0},
+        {"n_racks": 2, "switch_latency_s": -1e-9},
+    ])
+    def test_bad_specs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TopologySpec(**kwargs)
+
+    def test_spec_is_hashable_and_frozen(self):
+        spec = TopologySpec.clos(2, 2)
+        assert hash(spec) == hash(TopologySpec.clos(2, 2))
+        with pytest.raises(AttributeError):
+            spec.n_racks = 4
+
+
+class TestIpAllocator:
+    def test_rack_subnets_and_infra_addresses(self):
+        ip = IpAllocator(3)
+        assert ip.subnet(0) == "10.0.0.0/16"
+        assert ip.subnet(2) == "10.2.0.0/16"
+        assert ip.tor_ip(1) == "10.1.0.1"
+        assert ip.spine_ip(0) == "10.255.0.1"
+        assert ip.storage_ip == STORAGE_IP == "10.254.0.1"
+
+    def test_assignment_is_positional_within_rack(self):
+        ip = IpAllocator(2)
+        assert ip.assign("s0", 0) == "10.0.1.1"
+        assert ip.assign("s1", 1) == "10.1.1.1"
+        assert ip.assign("s2", 0) == "10.0.1.2"
+        assert ip.ip_of("s2") == "10.0.1.2"
+        assert ip.rack_of("s1") == 1
+        assert ip.servers == ("s0", "s1", "s2")
+
+    def test_double_assignment_rejected(self):
+        ip = IpAllocator(1)
+        ip.assign("s0", 0)
+        with pytest.raises(ValueError):
+            ip.assign("s0", 0)
+
+    def test_rack_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            IpAllocator(2).assign("s0", 2)
+        with pytest.raises(ValueError):
+            IpAllocator(0)

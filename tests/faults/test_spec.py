@@ -15,8 +15,11 @@ def _crash(target="g0", at_s=1e-3, **kw):
 
 class TestFaultSpecValidation:
     def test_known_kinds_construct(self):
+        shaped = {"backend_disconnect": "storage",
+                  "link_flap": "spine-0|tor-0",
+                  "switch_crash": "spine-0"}
         for kind in FAULT_KINDS:
-            target = "storage" if kind == "backend_disconnect" else "g0"
+            target = shaped.get(kind, "g0")
             param = 0.5 if kind == "brownout" else 0.0
             FaultSpec(kind=kind, target=target, at_s=0.0, param=param)
 

@@ -86,6 +86,43 @@ class TestQueueConfigMismatch:
         assert differences == ["experiments.f.events.e: 3 != 99"]
 
 
+class TestTopologyMismatch:
+    def _pair(self):
+        a = {"topology": {"n_racks": 0, "n_spines": 1},
+             "experiments": {"f": {"events": {"e": 3}}}}
+        b = {"topology": {"n_racks": 2, "n_spines": 2},
+             "experiments": {"f": {"events": {"e": 99}}}}
+        return a, b
+
+    def test_mismatch_short_circuits_the_row_diff(self):
+        """Single-hop vs routed-Clos reports are incomparable: the one
+        surfaced difference names the topology, not the rows."""
+        a, b = self._pair()
+        differences = bench_diff(a, b)
+        assert len(differences) == 1
+        assert "topology mismatch" in differences[0]
+        assert "not comparable" in differences[0]
+        assert "n_racks: 0 vs 2" in differences[0]
+        assert not any("experiments" in d for d in differences)
+
+    def test_matching_topology_diffs_rows_normally(self):
+        a, b = self._pair()
+        b["topology"] = dict(a["topology"])
+        assert bench_diff(a, b) == ["experiments.f.events.e: 3 != 99"]
+
+    def test_reports_without_topology_diff_normally(self):
+        """Pre-fabric reports (no topology header) keep the historical
+        row-by-row behavior."""
+        a, b = self._pair()
+        del a["topology"], b["topology"]
+        assert bench_diff(a, b) == ["experiments.f.events.e: 3 != 99"]
+
+    def test_ignore_topology_opts_out(self):
+        a, b = self._pair()
+        differences = bench_diff(a, b, ignore_keys=("topology",))
+        assert differences == ["experiments.f.events.e: 3 != 99"]
+
+
 class TestWallTolerance:
     def _pair(self, a_wall, b_wall):
         a = {"total_wall_s": a_wall, "timestamp": "x",
