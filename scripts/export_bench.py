@@ -216,6 +216,9 @@ def run(names=None, seed: int = 0, quick: bool = True, outdir: str = ".",
               f"({entry['events']['events_popped']} events, queue depth "
               f"max {entry['queue_depth']['max']} "
               f"mean {entry['queue_depth']['mean']})")
+        columns = _scenario_columns(exp_id, experiment_results[exp_id])
+        if columns is not None:
+            entry["scenario"] = columns
         result = experiment_results[exp_id]
         if result is not None and not result.passed:
             failed = "; ".join(c.name for c in result.failed_checks())
@@ -228,6 +231,28 @@ def run(names=None, seed: int = 0, quick: bool = True, outdir: str = ".",
           f"{report['total_wall_s']:.3f}s total, "
           f"{report['elapsed_wall_s']:.3f}s elapsed, jobs={jobs})")
     return path
+
+
+def _scenario_columns(exp_id: str, result):
+    """Experiment-specific bench columns via the ``bench_columns`` hook.
+
+    An experiment module may expose ``bench_columns(result) -> dict``
+    returning *deterministic* scenario metrics (simulated quantities
+    only — no wall time), which land under the experiment entry's
+    ``scenario`` key. region_resilience uses this to put remediation
+    latency and control-plane overhead into the perf trajectory;
+    ``diff_bench`` compares the values like any other non-volatile key.
+    """
+    if result is None:
+        return None
+    runner = ALL_EXPERIMENTS.get(exp_id)
+    if runner is None:
+        return None
+    module = inspect.getmodule(runner)
+    hook = getattr(module, "bench_columns", None)
+    if hook is None:
+        return None
+    return hook(result)
 
 
 def _resolve_out_path(out, outdir) -> pathlib.Path:

@@ -22,7 +22,8 @@ from typing import List, Tuple
 from repro.faults.spec import FaultPlan, FaultSpec
 from repro.sim.rng import RandomStreams
 
-__all__ = ["CampaignConfig", "CampaignGenerator", "CHAOS_STREAM"]
+__all__ = ["CampaignConfig", "CampaignGenerator", "CHAOS_STREAM",
+           "REGION_KIND_WEIGHTS"]
 
 CHAOS_STREAM = "chaos.campaign"
 
@@ -39,6 +40,16 @@ DEFAULT_KIND_WEIGHTS = (
     ("brownout", 1.0),
     ("link_flap", 0.75),
     ("switch_crash", 0.4),
+)
+
+# Correlated-failure mix for region campaigns (rack power events are
+# the rarest and most expensive to remediate; board hangs the
+# cheapest). Kept separate from DEFAULT_KIND_WEIGHTS so legacy
+# campaign seeds keep drawing the identical plans.
+REGION_KIND_WEIGHTS = (
+    ("rack_power", 0.5),
+    ("tor_down", 0.75),
+    ("correlated_board_hang", 1.0),
 )
 
 
@@ -63,6 +74,12 @@ class CampaignConfig:
     # outside the recoverable envelope this generator promises.
     fabric_links: Tuple[str, ...] = ("spine-0|tor-0", "spine-0|storage")
     fabric_switches: Tuple[str, ...] = ("spine-0",)
+    # Region victims (correlated-failure campaigns, DESIGN.md §13).
+    # Empty by default: region kinds are dropped from the sampling mix
+    # unless victims exist, keeping legacy plans byte-identical.
+    region_racks: Tuple[str, ...] = ()
+    region_tors: Tuple[str, ...] = ()
+    region_servers: Tuple[str, ...] = ()
     kind_weights: Tuple[Tuple[str, float], ...] = DEFAULT_KIND_WEIGHTS
     faults_min: int = 2
     faults_max: int = 6
@@ -83,6 +100,12 @@ class CampaignConfig:
     brownout_factor: Tuple[float, float] = (0.25, 0.9)
     link_flap_s: Tuple[float, float] = (0.2e-3, 3e-3)
     switch_down_s: Tuple[float, float] = (0.5e-3, 4e-3)
+    # Region fault envelopes: long enough that remediation (detect →
+    # drain → repair) runs end to end, short enough that a quick
+    # region run converges before its horizon.
+    rack_power_s: Tuple[float, float] = (0.5, 1.5)
+    tor_down_s: Tuple[float, float] = (0.3, 1.0)
+    board_hang_s: Tuple[float, float] = (0.1, 0.5)
 
     def __post_init__(self):
         if self.horizon_s <= 0:
@@ -96,6 +119,32 @@ class CampaignConfig:
             )
         if not all(w >= 0 for _, w in self.kind_weights):
             raise ValueError("kind weights must be non-negative")
+
+    @classmethod
+    def region(cls, racks: Tuple[str, ...], tors: Tuple[str, ...],
+               servers: Tuple[str, ...], horizon_s: float = 4.0,
+               faults_min: int = 1, faults_max: int = 3,
+               **overrides) -> "CampaignConfig":
+        """A correlated-failure campaign over one region's victims.
+
+        Only region kinds are sampled; the horizon should leave enough
+        tail before the region run ends for every remediation ticket to
+        close (drain + repair + readmission).
+        """
+        return cls(
+            horizon_s=horizon_s,
+            targets=tuple(servers) or ("-",),
+            region_racks=tuple(racks),
+            region_tors=tuple(tors),
+            region_servers=tuple(servers),
+            kind_weights=REGION_KIND_WEIGHTS,
+            faults_min=faults_min,
+            faults_max=faults_max,
+            # Bursts cluster correlated faults into overlapping windows
+            # (two racks dark at once) — the interesting regime.
+            burst_spread_s=0.2,
+            **overrides,
+        )
 
 
 class CampaignGenerator:
@@ -121,6 +170,10 @@ class CampaignGenerator:
             (kind, weight) for kind, weight in cfg.kind_weights
             if not (kind == "link_flap" and not cfg.fabric_links)
             and not (kind == "switch_crash" and not cfg.fabric_switches)
+            and not (kind == "rack_power" and not cfg.region_racks)
+            and not (kind == "tor_down" and not cfg.region_tors)
+            and not (kind == "correlated_board_hang"
+                     and not cfg.region_servers)
         ]
         kinds = [k for k, _ in usable]
         weights = [w for _, w in usable]
@@ -193,6 +246,21 @@ class CampaignGenerator:
                 int(rng.integers(0, len(cfg.fabric_switches)))]
             return FaultSpec(kind=kind, target=switch, at_s=at_s,
                              duration_s=span(cfg.switch_down_s))
+        if kind == "rack_power":
+            rack = cfg.region_racks[
+                int(rng.integers(0, len(cfg.region_racks)))]
+            return FaultSpec(kind=kind, target=rack, at_s=at_s,
+                             duration_s=span(cfg.rack_power_s))
+        if kind == "tor_down":
+            tor = cfg.region_tors[
+                int(rng.integers(0, len(cfg.region_tors)))]
+            return FaultSpec(kind=kind, target=tor, at_s=at_s,
+                             duration_s=span(cfg.tor_down_s))
+        if kind == "correlated_board_hang":
+            victim = cfg.region_servers[
+                int(rng.integers(0, len(cfg.region_servers)))]
+            return FaultSpec(kind=kind, target=victim, at_s=at_s,
+                             duration_s=span(cfg.board_hang_s))
         raise AssertionError(f"unhandled kind {kind!r}")
 
     def _enforce_crash_spacing(self, faults: List[FaultSpec]) -> List[FaultSpec]:

@@ -1,7 +1,21 @@
 """Cloud infrastructure: inventory, scheduling, pricing, power, control."""
 
+from repro.cloud.admission import (
+    TIERS,
+    AdmissionController,
+    AdmissionPolicy,
+    AdmissionRejected,
+)
 from repro.cloud.api import CloudController, InstanceRecord
 from repro.cloud.audit import AuditEntry, AuditLog, TamperError
+from repro.cloud.health import (
+    FleetHealth,
+    HealthPolicy,
+    HealthTransitionError,
+    RemediationPipeline,
+    RemediationTicket,
+    ServerHealthState,
+)
 from repro.cloud.billing import BM_DISCOUNT, Invoice, PriceList, UsageMeter
 from repro.cloud.quotas import Quota, QuotaExceeded, QuotaLedger
 from repro.cloud.inventory import (
@@ -53,4 +67,14 @@ __all__ = [
     "QuotaExceeded",
     "MaintenanceWindow",
     "MaintenanceReport",
+    "TIERS",
+    "AdmissionController",
+    "AdmissionPolicy",
+    "AdmissionRejected",
+    "FleetHealth",
+    "HealthPolicy",
+    "HealthTransitionError",
+    "RemediationPipeline",
+    "RemediationTicket",
+    "ServerHealthState",
 ]

@@ -14,11 +14,14 @@ from typing import Dict, List, Optional
 
 from repro.backend.fabric import Fabric
 from repro.backend.vxlan import OverlayNetwork
+from repro.cloud.admission import AdmissionController, AdmissionPolicy
 from repro.cloud.audit import AuditLog
+from repro.cloud.health import FleetHealth, HealthPolicy
 from repro.cloud.inventory import InstanceType, instance
 from repro.cloud.quotas import QuotaLedger
 from repro.cloud.scheduler import Scheduler
 from repro.core.server import BmHiveServer, VirtServer
+from repro.faults.accounting import AvailabilityAccounting
 from repro.guest.image import VmImage
 
 __all__ = ["CloudController", "InstanceRecord"]
@@ -34,6 +37,7 @@ class InstanceRecord:
     guest: object
     image_digest: Optional[str]
     tenant: str = "default"
+    tier: str = "standard"
 
 
 class CloudController:
@@ -45,7 +49,9 @@ class CloudController:
     fully wired guests.
     """
 
-    def __init__(self, sim, fabric: Optional[Fabric] = None):
+    def __init__(self, sim, fabric: Optional[Fabric] = None,
+                 admission_policy: Optional[AdmissionPolicy] = None,
+                 health_policy: Optional[HealthPolicy] = None):
         self.sim = sim
         self.fabric = fabric or Fabric(sim)
         self.scheduler = Scheduler()
@@ -55,6 +61,16 @@ class CloudController:
         self.audit = AuditLog(sim)
         self.quotas = QuotaLedger()
         self.overlay = OverlayNetwork()
+        # Resilience layer (DESIGN.md §13): server outages and health
+        # transitions land in the same ledger the fault stack uses, and
+        # every create passes the admission gate before scheduling.
+        self.accounting = AvailabilityAccounting(sim)
+        self.health = FleetHealth(
+            sim, self.scheduler, policy=health_policy,
+            audit=self.audit, accounting=self.accounting)
+        self.admission = AdmissionController(
+            sim, self.scheduler, policy=admission_policy, audit=self.audit)
+        self._torn_down = False
 
     # -- infrastructure --------------------------------------------------------
     def add_bmhive_server(self, name: str, board_slots: int = 8) -> BmHiveServer:
@@ -72,13 +88,18 @@ class CloudController:
     # -- instance life cycle ----------------------------------------------------
     def create_instance(self, type_name: str,
                         image: Optional[VmImage] = None,
-                        tenant: str = "default") -> InstanceRecord:
+                        tenant: str = "default",
+                        tier: str = "standard") -> InstanceRecord:
         """Create an instance of ``type_name`` on any fitting server.
 
-        Quotas are charged before scheduling; the action is audited;
-        the tenant gets (or reuses) an isolated overlay segment.
+        The request first passes the admission gate (circuit breaker +
+        per-tier token bucket; raises :class:`~repro.cloud.admission.
+        AdmissionRejected` when shed or rate-limited), then quotas are
+        charged, the action is audited, and the tenant gets (or reuses)
+        an isolated overlay segment.
         """
         itype: InstanceType = instance(type_name)
+        self.admission.admit(tier, tenant=tenant)
         placement = self.scheduler.place(itype)
         try:
             self.quotas.charge(tenant, placement.instance_id, itype)
@@ -109,6 +130,7 @@ class CloudController:
             guest=guest,
             image_digest=image.digest() if image else None,
             tenant=tenant,
+            tier=tier,
         )
         self.instances[record.instance_id] = record
         self.audit.record(
@@ -116,6 +138,21 @@ class CloudController:
             type=type_name, server=placement.server, kind=itype.kind,
         )
         return record
+
+    def teardown(self) -> int:
+        """End-of-run bookkeeping: close every open outage span.
+
+        Without this, a run ending mid-outage (server quarantined and
+        never readmitted) would leave ``down_since`` dangling and the
+        report would undercount downtime. Idempotent; returns the
+        number of spans closed, and audits the teardown.
+        """
+        closed = self.accounting.finalize()
+        if not self._torn_down:
+            self._torn_down = True
+            self.audit.record("controller", "teardown", "-",
+                              spans_closed=closed)
+        return closed
 
     def destroy_instance(self, instance_id: str) -> None:
         record = self.instances.pop(instance_id, None)

@@ -5,13 +5,21 @@ picks an idle compute board and powers it on" (Section 3.2). This
 module is that selection logic: capacity records per server, first-fit
 placement for bm boards and HT bin-packing for VMs, plus utilization
 accounting the density experiment uses.
+
+Health-aware placement (DESIGN.md §13): a server can be *quarantined*,
+which removes its capacity from the sellable pool without forgetting
+its placements — guests already on a quarantined server stay tracked
+so the remediation pipeline can drain them, but ``place`` never
+selects it. :meth:`Scheduler.healthy_headroom` reports the remaining
+free capacity on non-quarantined servers; the admission circuit
+breaker keys off it.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.cloud.inventory import InstanceType
 
@@ -19,7 +27,16 @@ __all__ = ["ServerCapacity", "Placement", "Scheduler", "CapacityError"]
 
 
 class CapacityError(Exception):
-    """Raised when no server can host the requested instance."""
+    """Raised when no server can host the requested instance.
+
+    Carries a structured ``details`` dict (per-kind free/used counts
+    and the quarantined tally) so placement failures at fleet scale are
+    debuggable from the exception alone.
+    """
+
+    def __init__(self, message: str, details: Optional[Dict] = None):
+        super().__init__(message)
+        self.details: Dict = dict(details or {})
 
 
 @dataclass
@@ -32,8 +49,11 @@ class ServerCapacity:
     sellable_hyperthreads: int = 0  # kvm servers: schedulable HT
     used_boards: int = 0
     used_hyperthreads: int = 0
+    quarantined: bool = False      # excluded from placement while set
 
     def can_host(self, itype: InstanceType) -> bool:
+        if self.quarantined:
+            return False
         if itype.kind == "bm":
             return self.kind == "bmhive" and self.used_boards < self.board_slots
         return (
@@ -84,6 +104,45 @@ class Scheduler:
         self.servers[server.name] = server
         return server
 
+    # -- health --------------------------------------------------------------
+    def quarantine(self, name: str) -> bool:
+        """Remove ``name`` from the placement pool; returns True on change.
+
+        Existing placements stay tracked (the remediation pipeline
+        drains them); only *new* placements are excluded.
+        """
+        server = self._server(name)
+        changed = not server.quarantined
+        server.quarantined = True
+        return changed
+
+    def readmit(self, name: str) -> bool:
+        """Return ``name`` to the placement pool; returns True on change."""
+        server = self._server(name)
+        changed = server.quarantined
+        server.quarantined = False
+        return changed
+
+    def quarantined_servers(self) -> Tuple[str, ...]:
+        return tuple(sorted(
+            n for n, s in self.servers.items() if s.quarantined))
+
+    def _server(self, name: str) -> ServerCapacity:
+        try:
+            return self.servers[name]
+        except KeyError:
+            known = ", ".join(sorted(self.servers)) or "(none)"
+            raise KeyError(
+                f"unknown server {name!r}; servers: {known}") from None
+
+    def placements_on(self, name: str) -> Tuple[Placement, ...]:
+        """Placements currently hosted on ``name``, in id order."""
+        self._server(name)
+        return tuple(
+            self.placements[iid] for iid in sorted(self.placements)
+            if self.placements[iid].server == name
+        )
+
     # -- scheduling --------------------------------------------------------------
     def place(self, itype: InstanceType) -> Placement:
         """Place one instance; first fit in registration order."""
@@ -101,7 +160,18 @@ class Scheduler:
                 self.placements[placement.instance_id] = placement
                 self._types[placement.instance_id] = itype
                 return placement
-        raise CapacityError(f"no capacity for {itype.name} ({itype.kind})")
+        summary = self.capacity_summary()
+        raise CapacityError(
+            f"no capacity for {itype.name} ({itype.kind}): "
+            f"boards {summary['boards_free']}/{summary['boards_total']} free "
+            f"({summary['bm_servers']} bm servers), "
+            f"hyperthreads {summary['ht_free']}/{summary['ht_total']} free "
+            f"({summary['kvm_servers']} kvm servers), "
+            f"{summary['quarantined_servers']} quarantined "
+            f"({summary['quarantined_boards']} boards, "
+            f"{summary['quarantined_ht']} HT held back)",
+            details=summary,
+        )
 
     def release(self, instance_id: str) -> None:
         """Return an instance's capacity to the pool."""
@@ -116,6 +186,59 @@ class Scheduler:
             server.used_hyperthreads -= itype.hyperthreads
 
     # -- reporting -----------------------------------------------------------------
+    def capacity_summary(self) -> Dict[str, int]:
+        """Per-kind free/used/quarantined capacity counts.
+
+        Free counts exclude quarantined servers (their capacity is not
+        sellable); totals include them, so ``boards_free/boards_total``
+        is the healthy headroom fraction the circuit breaker watches.
+        """
+        out = {
+            "bm_servers": 0, "kvm_servers": 0,
+            "boards_total": 0, "boards_used": 0, "boards_free": 0,
+            "ht_total": 0, "ht_used": 0, "ht_free": 0,
+            "quarantined_servers": 0,
+            "quarantined_boards": 0, "quarantined_ht": 0,
+        }
+        for server in self.servers.values():
+            if server.kind == "bmhive":
+                out["bm_servers"] += 1
+                out["boards_total"] += server.board_slots
+                out["boards_used"] += server.used_boards
+                if server.quarantined:
+                    out["quarantined_boards"] += server.board_slots
+                else:
+                    out["boards_free"] += server.board_slots - server.used_boards
+            else:
+                out["kvm_servers"] += 1
+                out["ht_total"] += server.sellable_hyperthreads
+                out["ht_used"] += server.used_hyperthreads
+                if server.quarantined:
+                    out["quarantined_ht"] += server.sellable_hyperthreads
+                else:
+                    out["ht_free"] += (server.sellable_hyperthreads
+                                       - server.used_hyperthreads)
+            if server.quarantined:
+                out["quarantined_servers"] += 1
+        return out
+
+    def healthy_headroom(self, kind: str = "bm") -> float:
+        """Free non-quarantined capacity as a fraction of nominal total.
+
+        The denominator is the *nominal* fleet (quarantined capacity
+        included), so quarantining a rack shrinks headroom even on an
+        idle fleet — exactly the signal the admission circuit breaker
+        wants: "how much of what we sold can we still actually place?"
+        """
+        summary = self.capacity_summary()
+        if kind == "bm":
+            total, free = summary["boards_total"], summary["boards_free"]
+        elif kind == "vm":
+            total, free = summary["ht_total"], summary["ht_free"]
+        else:
+            raise ValueError(f"kind must be 'bm' or 'vm', got {kind!r}")
+        return free / total if total else 1.0
+
     def pool_utilization(self, kind: Optional[str] = None) -> float:
         servers = [
             s for s in self.servers.values() if kind is None or s.kind == kind

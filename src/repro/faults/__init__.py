@@ -16,7 +16,13 @@ reproducible schedule:
 
 from repro.faults.accounting import AvailabilityAccounting, TargetAvailability
 from repro.faults.injector import FaultInjector
-from repro.faults.spec import FAULT_KINDS, FaultPlan, FaultSpec
+from repro.faults.spec import (
+    FABRIC_KINDS,
+    FAULT_KINDS,
+    REGION_KINDS,
+    FaultPlan,
+    FaultSpec,
+)
 from repro.faults.supervisor import (
     BackoffSpec,
     RestartRecord,
@@ -28,6 +34,8 @@ from repro.faults.workload import RingBlkLoad
 
 __all__ = [
     "FAULT_KINDS",
+    "FABRIC_KINDS",
+    "REGION_KINDS",
     "FaultSpec",
     "FaultPlan",
     "FaultInjector",

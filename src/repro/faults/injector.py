@@ -41,6 +41,21 @@ class FaultInjector:
         if self._armed:
             raise RuntimeError("fault plan already armed")
         self._armed = True
+        # Correlated region kinds (rack_power, correlated_board_hang)
+        # need the rack→server mapping and remediation pipeline that
+        # only repro.fleet.region.Region has; a single-server testbed
+        # cannot deliver them. tor_down is the exception: its fabric
+        # half is exactly a ToR switch_crash, so it arms here too.
+        unsupported = sorted({
+            spec.kind for spec in self.plan.schedule()
+            if spec.kind in ("rack_power", "correlated_board_hang")
+        })
+        if unsupported:
+            raise ValueError(
+                f"region-scoped fault kind(s) {', '.join(unsupported)} "
+                f"cannot be armed against a single server; arm the plan "
+                f"through repro.fleet.region.Region.arm_plan instead"
+            )
         guests = tuple(g.name for g in server.guests)
         network = getattr(server.fabric, "network", None)
         links = tuple(network.link_names) if network is not None else ()
@@ -56,7 +71,7 @@ class FaultInjector:
                 return True  # FaultSpec already pinned the target
             if spec.kind == "link_flap":
                 return spec.target in links
-            if spec.kind == "switch_crash":
+            if spec.kind in ("switch_crash", "tor_down"):
                 return spec.target in switches
             return spec.target in guests
 
@@ -118,7 +133,7 @@ class FaultInjector:
         elif spec.kind == "link_flap":
             yield from server.fabric.network.flap_link(
                 spec.target, spec.duration_s)
-        elif spec.kind == "switch_crash":
+        elif spec.kind in ("switch_crash", "tor_down"):
             yield from server.fabric.network.crash_switch(
                 spec.target, spec.duration_s)
         else:  # unreachable: FaultSpec validates the kind

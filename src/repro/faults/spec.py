@@ -25,7 +25,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterable, Sequence, Tuple
 
 __all__ = ["FAULT_KINDS", "BACKEND_TARGETS", "FABRIC_KINDS",
-           "FaultSpec", "FaultPlan"]
+           "REGION_KINDS", "FaultSpec", "FaultPlan"]
 
 # The fault taxonomy, one kind per failable layer (DESIGN.md §7, §12):
 #   pcie_flap          hw/pcie      link down + retrain delay
@@ -36,6 +36,10 @@ __all__ = ["FAULT_KINDS", "BACKEND_TARGETS", "FABRIC_KINDS",
 #   brownout           backend      token-bucket rates scaled down
 #   link_flap          fabric       one fabric link down for a window
 #   switch_crash       fabric       a ToR/spine dies with all its links
+#   rack_power         region       every server in one rack loses power
+#   tor_down           region       a rack's ToR dies (fabric crash +
+#                                    rack-wide remediation)
+#   correlated_board_hang region    all boards of one server hang at once
 FAULT_KINDS = (
     "pcie_flap",
     "dma_stall",
@@ -45,6 +49,9 @@ FAULT_KINDS = (
     "brownout",
     "link_flap",
     "switch_crash",
+    "rack_power",
+    "tor_down",
+    "correlated_board_hang",
 )
 
 # backend_disconnect targets name a backend, not a guest.
@@ -57,6 +64,16 @@ BACKEND_TARGETS = ("vswitch", "storage")
 # differential oracle treats no guest as protected under them (the
 # fabric invariant monitors carry the correctness claim instead).
 FABRIC_KINDS = ("link_flap", "switch_crash")
+
+# Region-scoped kinds are *correlated* faults: one spec takes down a
+# whole rack ("rack-N"), a rack's ToR ("tor-N"), or every board of one
+# server at once. They are delivered by :class:`repro.fleet.region.
+# Region` (which owns the rack→server mapping and the remediation
+# pipeline), not by the single-server FaultInjector — except
+# ``tor_down``, whose fabric half maps onto ``FabricNetwork.
+# crash_switch`` and therefore also works on a testbed with a routed
+# fabric.
+REGION_KINDS = ("rack_power", "tor_down", "correlated_board_hang")
 
 
 @dataclass(frozen=True)
@@ -109,6 +126,23 @@ class FaultSpec:
         if self.kind == "switch_crash" and "|" in self.target:
             raise ValueError(
                 f"switch_crash target must be a switch name, not a link, "
+                f"got {self.target!r}"
+            )
+        if self.kind == "rack_power" and not self.target.startswith("rack-"):
+            raise ValueError(
+                f"rack_power target must be a rack name 'rack-N', "
+                f"got {self.target!r}"
+            )
+        if self.kind == "tor_down" and not self.target.startswith("tor-"):
+            raise ValueError(
+                f"tor_down target must be a ToR name 'tor-N', "
+                f"got {self.target!r}"
+            )
+        if self.kind == "correlated_board_hang" and (
+                "|" in self.target
+                or self.target.startswith(("rack-", "tor-", "spine-"))):
+            raise ValueError(
+                f"correlated_board_hang target must be a server name, "
                 f"got {self.target!r}"
             )
 
@@ -195,10 +229,11 @@ class FaultPlan:
         The draw order is fixed (targets outer, kinds inner, arrivals
         in time order), so the same seed always yields the same plan.
 
-        Fabric kinds pair only with targets of their shape — a link
-        name (``"a|b"``) for ``link_flap``, a switch name for
-        ``switch_crash`` — so a mixed guest/fabric target list draws
-        each kind against its own victims. Incompatible pairs are
+        Fabric and region kinds pair only with targets of their shape —
+        a link name (``"a|b"``) for ``link_flap``, a switch name for
+        ``switch_crash``/``tor_down``, a rack name (``"rack-N"``) for
+        ``rack_power`` — so a mixed guest/fabric/region target list
+        draws each kind against its own victims. Incompatible pairs are
         skipped *before* any draw, leaving legacy (guest-kind-only)
         sampling sequences untouched.
         """
@@ -213,6 +248,15 @@ class FaultPlan:
                 if kind == "switch_crash" and "|" in target:
                     continue
                 if kind not in FABRIC_KINDS and "|" in target:
+                    continue
+                if kind == "rack_power" and not target.startswith("rack-"):
+                    continue
+                if kind == "tor_down" and not target.startswith("tor-"):
+                    continue
+                if kind == "correlated_board_hang" and \
+                        target.startswith(("rack-", "tor-", "spine-")):
+                    continue
+                if kind not in REGION_KINDS and target.startswith("rack-"):
                     continue
                 t = float(rng.exponential(mean_interval_s))
                 while t < horizon_s:

@@ -12,9 +12,24 @@ from repro.fleet.demand import (
     generate_demand,
     run_placement_study,
 )
+from repro.fleet.monitors import (
+    DrainExactlyOnceMonitor,
+    QuarantinePlacementMonitor,
+    TierSheddingMonitor,
+    region_monitors,
+)
 from repro.fleet.preemption import PreemptionStudy, run_preemption_study
+from repro.fleet.region import ARRIVAL_STREAM, Region, RegionGuest, RegionSpec
 
 __all__ = [
+    "Region",
+    "RegionSpec",
+    "RegionGuest",
+    "ARRIVAL_STREAM",
+    "QuarantinePlacementMonitor",
+    "DrainExactlyOnceMonitor",
+    "TierSheddingMonitor",
+    "region_monitors",
     "ExitCensus",
     "run_exit_census",
     "TABLE2_THRESHOLDS",

@@ -52,3 +52,42 @@ class TestInstanceLifecycle:
         record = cloud.create_instance("ecs.e5.32ht")
         cloud.destroy_instance(record.instance_id)
         assert cloud.density("kvm-0") == 0
+
+    def test_instance_records_carry_tier(self, cloud):
+        record = cloud.create_instance("ebm.e5.32ht", tier="premium")
+        assert record.tier == "premium"
+
+
+class TestTeardown:
+    def _quarantine(self, cloud, name):
+        cloud.health.report_probe(name, False)
+        cloud.health.report_probe(name, False)
+
+    def test_run_ending_mid_outage_is_finalized(self, cloud):
+        """Regression: a server killed mid-run must not undercount downtime."""
+        sim = cloud.sim
+
+        def scenario():
+            yield sim.timeout(1.0)
+            self._quarantine(cloud, "hive-0")
+            yield sim.timeout(3.0)  # run ends with the outage still open
+
+        sim.run_process(scenario())
+        assert cloud.accounting.downtime("hive-0") == pytest.approx(3.0)
+        assert cloud.teardown() == 1
+        # The span now has a closed edge and survives further queries.
+        assert cloud.accounting.downtime("hive-0") == pytest.approx(3.0)
+        entries = cloud.audit.entries(subject="-")
+        assert [e.action for e in entries] == ["teardown"]
+        assert entries[0].details["spans_closed"] == 1
+
+    def test_teardown_is_idempotent_and_audited_once(self, cloud):
+        self._quarantine(cloud, "hive-0")
+        assert cloud.teardown() == 1
+        assert cloud.teardown() == 0
+        teardowns = [e for e in cloud.audit.entries(subject="-")
+                     if e.action == "teardown"]
+        assert len(teardowns) == 1
+
+    def test_teardown_with_nothing_open(self, cloud):
+        assert cloud.teardown() == 0

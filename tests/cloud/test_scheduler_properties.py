@@ -1,0 +1,105 @@
+"""Property-based scheduler tests (hypothesis).
+
+The resilience layer rests on two scheduler invariants holding under
+*any* interleaving of control-plane operations: capacity is never
+oversubscribed (``used_boards <= board_slots``,
+``used_hyperthreads <= sellable_hyperthreads``), and placement never
+selects a quarantined server. Random sequences of place / release /
+quarantine / readmit drive both, with conservation checked at every
+step and on the final state.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud import CapacityError, Scheduler, instance
+
+BM = instance("ebm.e5.32ht")
+VM = instance("ecs.e5.32ht")
+
+_SERVERS = ("s0", "s1", "s2")
+
+# An op is (kind, arg): place_bm/place_vm ignore arg; release picks
+# the arg-th live placement; quarantine/readmit pick the arg-th server.
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ("place_bm", "place_vm", "release", "quarantine", "readmit")),
+        st.integers(min_value=0, max_value=7),
+    ),
+    min_size=1, max_size=60,
+)
+
+
+def _build():
+    sched = Scheduler()
+    sched.add_bmhive_server("s0", board_slots=3)
+    sched.add_bmhive_server("s1", board_slots=2)
+    sched.add_kvm_server("s2", sellable_hyperthreads=88)
+    return sched
+
+
+def _check_conservation(sched):
+    for server in sched.servers.values():
+        assert 0 <= server.used_boards <= server.board_slots
+        assert 0 <= server.used_hyperthreads <= server.sellable_hyperthreads
+    # The capacity summary is self-consistent with per-server truth.
+    summary = sched.capacity_summary()
+    assert summary["boards_used"] == sum(
+        s.used_boards for s in sched.servers.values())
+    assert summary["boards_free"] >= 0 and summary["ht_free"] >= 0
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=_OPS)
+def test_random_sequences_never_oversubscribe_or_use_quarantined(ops):
+    sched = _build()
+    live = []
+    for kind, arg in ops:
+        if kind in ("place_bm", "place_vm"):
+            itype = BM if kind == "place_bm" else VM
+            try:
+                placement = sched.place(itype)
+            except CapacityError as exc:
+                # The structured details must agree with live state.
+                assert exc.details["boards_total"] == 5
+                continue
+            # The core invariant: never placed on a quarantined server.
+            assert not sched.servers[placement.server].quarantined
+            live.append(placement.instance_id)
+        elif kind == "release" and live:
+            sched.release(live.pop(arg % len(live)))
+        elif kind == "quarantine":
+            sched.quarantine(_SERVERS[arg % len(_SERVERS)])
+        elif kind == "readmit":
+            sched.readmit(_SERVERS[arg % len(_SERVERS)])
+        _check_conservation(sched)
+    # Releasing everything restores a clean pool.
+    for instance_id in live:
+        sched.release(instance_id)
+    assert sum(s.used_boards for s in sched.servers.values()) == 0
+    assert sum(s.used_hyperthreads for s in sched.servers.values()) == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(quarantined=st.sets(st.sampled_from(_SERVERS)),
+       n_places=st.integers(min_value=1, max_value=8))
+def test_quarantined_set_is_never_selected(quarantined, n_places):
+    sched = _build()
+    for name in sorted(quarantined):
+        sched.quarantine(name)
+    placed_on = set()
+    for _ in range(n_places):
+        try:
+            placed_on.add(sched.place(BM).server)
+        except CapacityError:
+            break
+        try:
+            placed_on.add(sched.place(VM).server)
+        except CapacityError:
+            pass
+    assert placed_on.isdisjoint(quarantined)
+    # Headroom reflects only the non-quarantined fraction.
+    if quarantined == set(_SERVERS):
+        assert sched.healthy_headroom("bm") == 0.0
+        assert sched.healthy_headroom("vm") == 0.0

@@ -1,0 +1,36 @@
+"""Experiment-level checks for the region resilience drill."""
+
+import json
+
+from repro.experiments import region_resilience
+from repro.sim import set_idle_skip_default
+
+
+def test_quick_run_passes_and_rows_cover_tiers(experiment_results):
+    result = experiment_results["region_resilience"]
+    assert result.passed
+    tiers = [row["tier"] for row in result.rows]
+    assert tiers == ["premium", "standard", "best_effort", "remediation"]
+
+
+def test_bench_columns_hook(experiment_results):
+    columns = region_resilience.bench_columns(
+        experiment_results["region_resilience"])
+    assert set(columns) == {
+        "detect_ms", "drain_ms", "remediate_ms", "migrations",
+        "audit_entries", "premium_availability_pct"}
+    assert columns["premium_availability_pct"] >= 99.9
+    assert columns["detect_ms"] > 0
+    assert columns["migrations"] > 0
+
+
+def test_identical_rows_with_and_without_idle_skip():
+    old = set_idle_skip_default(True)
+    try:
+        rows_on = region_resilience.run(seed=0, quick=True).rows
+        set_idle_skip_default(False)
+        rows_off = region_resilience.run(seed=0, quick=True).rows
+    finally:
+        set_idle_skip_default(old)
+    assert json.dumps(rows_on, sort_keys=True) == json.dumps(
+        rows_off, sort_keys=True)

@@ -17,7 +17,9 @@ class TestFaultSpecValidation:
     def test_known_kinds_construct(self):
         shaped = {"backend_disconnect": "storage",
                   "link_flap": "spine-0|tor-0",
-                  "switch_crash": "spine-0"}
+                  "switch_crash": "spine-0",
+                  "rack_power": "rack-0",
+                  "tor_down": "tor-0"}
         for kind in FAULT_KINDS:
             target = shaped.get(kind, "g0")
             param = 0.5 if kind == "brownout" else 0.0

@@ -1,0 +1,186 @@
+"""Tests for the multi-rack region drill (DESIGN.md §13)."""
+
+import json
+
+import pytest
+
+from repro.cloud import ServerHealthState
+from repro.faults import FaultPlan, FaultSpec
+from repro.fleet import ARRIVAL_STREAM, Region, RegionSpec
+from repro.sim import Simulator
+
+
+def _small_spec(**overrides):
+    kw = dict(n_racks=2, servers_per_rack=2, boards_per_server=4,
+              duration_s=4.0, arrival_rate_per_s=12.0, mean_lifetime_s=1.0)
+    kw.update(overrides)
+    return RegionSpec(**kw)
+
+
+def _run(seed=0, spec=None, plan=None):
+    sim = Simulator(seed=seed)
+    region = Region(sim, spec or _small_spec())
+    if plan is not None:
+        region.arm_plan(plan)
+    region.start()
+    sim.run(until=region.spec.duration_s)
+    region.finalize()
+    return region
+
+
+def _plan(*specs):
+    return FaultPlan.of(*specs)
+
+
+class TestSpecValidation:
+    def test_tier_mix_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            _small_spec(tier_mix=(("premium", 0.5), ("standard", 0.2),
+                                  ("best_effort", 0.2)))
+
+    def test_tier_mix_must_cover_tiers_in_order(self):
+        with pytest.raises(ValueError, match="every tier"):
+            _small_spec(tier_mix=(("standard", 0.5), ("premium", 0.2),
+                                  ("best_effort", 0.3)))
+
+    def test_naming_helpers(self):
+        spec = _small_spec()
+        assert spec.rack_names() == ("rack-0", "rack-1")
+        assert spec.tor_names() == ("tor-0", "tor-1")
+        assert spec.servers_in_rack("rack-1") == ("r1-s0", "r1-s1")
+        with pytest.raises(KeyError):
+            spec.servers_in_rack("rack-9")
+
+
+class TestChurn:
+    def test_steady_state_places_and_exits(self):
+        region = _run(seed=1)
+        assert sum(region.placed.values()) > 10
+        assert region.exits > 0
+        assert region.report()["audit_ok"]
+
+    def test_servers_home_on_their_named_rack(self):
+        sim = Simulator(seed=0)
+        region = Region(sim, _small_spec())
+        # The interleaved attach keeps r{r}-s{i} behind tor-{r}: killing
+        # tor-0 must cut exactly rack 0's servers off storage.
+        sim.spawn(region.network.crash_switch("tor-0", 0.5))
+        sim.run(until=0.25)  # mid-crash
+        for name in ("r0-s0", "r0-s1"):
+            assert not region._probe_ok(name)
+        for name in ("r1-s0", "r1-s1"):
+            assert region._probe_ok(name)
+
+
+class TestArmPlanValidation:
+    def test_non_region_kind_rejected(self):
+        sim = Simulator(seed=0)
+        region = Region(sim, _small_spec())
+        plan = _plan(FaultSpec(kind="hypervisor_crash", target="g0", at_s=1.0))
+        with pytest.raises(ValueError, match="region kinds"):
+            region.arm_plan(plan)
+
+    def test_unknown_targets_reported_together(self):
+        sim = Simulator(seed=0)
+        region = Region(sim, _small_spec())
+        plan = _plan(
+            FaultSpec(kind="rack_power", target="rack-7", at_s=1.0,
+                      duration_s=0.5),
+            FaultSpec(kind="correlated_board_hang", target="nope", at_s=1.0,
+                      duration_s=0.5))
+        with pytest.raises(KeyError, match="'nope'.*|'rack-7'.*"):
+            region.arm_plan(plan)
+
+    def test_valid_plan_counts_faults(self):
+        sim = Simulator(seed=0)
+        region = Region(sim, _small_spec())
+        plan = _plan(FaultSpec(kind="tor_down", target="tor-0", at_s=1.0,
+                               duration_s=0.3))
+        assert region.arm_plan(plan) == 1
+
+
+class TestFaultDelivery:
+    def test_rack_power_quarantines_and_remediates_the_rack(self):
+        plan = _plan(FaultSpec(kind="rack_power", target="rack-0", at_s=1.5,
+                               duration_s=0.5))
+        region = _run(seed=2, plan=plan)
+        tickets = region.pipeline.tickets
+        assert {t.server for t in tickets} == {"r0-s0", "r0-s1"}
+        assert all(t.closed for t in tickets)
+        for name in ("r0-s0", "r0-s1"):
+            assert region.health.state(name) is ServerHealthState.HEALTHY
+            assert not region.scheduler.servers[name].quarantined
+        assert region.double_migrations == 0
+        assert region.detection_latencies_s
+        assert all(0 < d < 0.1 for d in region.detection_latencies_s)
+
+    def test_tor_down_cuts_storage_and_recovers(self):
+        plan = _plan(FaultSpec(kind="tor_down", target="tor-1", at_s=1.0,
+                               duration_s=0.4))
+        region = _run(seed=3, plan=plan)
+        tickets = region.pipeline.tickets
+        assert {t.server for t in tickets} == {"r1-s0", "r1-s1"}
+        assert all(t.closed for t in tickets)
+        assert [f["kind"] for f in region.report()["faults"]] == ["tor_down"]
+
+    def test_board_hang_hits_one_server(self):
+        plan = _plan(FaultSpec(kind="correlated_board_hang", target="r0-s1",
+                               at_s=1.0, duration_s=0.3))
+        region = _run(seed=4, plan=plan)
+        assert {t.server for t in region.pipeline.tickets} == {"r0-s1"}
+        assert region.health.state("r0-s1") is ServerHealthState.HEALTHY
+
+    def test_migrated_guests_leave_the_dead_rack(self):
+        plan = _plan(FaultSpec(kind="rack_power", target="rack-0", at_s=1.5,
+                               duration_s=0.5))
+        region = _run(seed=5, plan=plan)
+        assert region.migrations > 0
+        migrated = [g for g in region.guests.values() if g.migrations]
+        assert migrated
+        for guest in migrated:
+            assert not guest.server.startswith("r0-")
+
+
+class TestAccounting:
+    def test_tier_stats_shape(self):
+        region = _run(seed=6)
+        for tier in ("premium", "standard", "best_effort"):
+            stats = region.tier_stats(tier)
+            assert stats["guests"] > 0
+            assert 0.0 <= stats["availability"] <= 1.0
+
+    def test_finalize_closes_span_when_run_ends_mid_outage(self):
+        # The fault outlasts the run: guests on rack-0 end the run down.
+        spec = _small_spec(duration_s=2.0)
+        plan = _plan(FaultSpec(kind="rack_power", target="rack-0", at_s=1.8,
+                               duration_s=10.0))
+        region = _run(seed=7, spec=spec, plan=plan)
+        down = [g for g in region.guests.values() if g.state == "down"]
+        assert down
+        for guest in down:
+            entry = region.accounting._target(guest.guest_id)
+            assert entry.down_since is None  # finalize closed the edge
+            assert region.accounting.downtime(guest.guest_id) > 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_report(self):
+        plan = _plan(FaultSpec(kind="rack_power", target="rack-0", at_s=1.5,
+                               duration_s=0.5))
+        blobs = set()
+        for _ in range(2):
+            report = _run(seed=8, plan=plan).report()
+            blobs.add(json.dumps(report, sort_keys=True))
+        assert len(blobs) == 1
+
+    def test_different_seeds_differ(self):
+        a = _run(seed=9).report()
+        b = _run(seed=10).report()
+        assert a["arrivals"] != b["arrivals"]
+
+    def test_arrivals_use_named_stream(self):
+        sim = Simulator(seed=11)
+        region = Region(sim, _small_spec())
+        region.start()
+        sim.run(until=1.0)
+        assert ARRIVAL_STREAM in sim.streams._streams
