@@ -211,11 +211,19 @@ def run(names=None, seed: int = 0, quick: bool = True, outdir: str = ".",
     report["elapsed_wall_s"] = round(time.perf_counter() - start, 6)
 
     for exp_id, entry in report["experiments"].items():
-        entry["queue_depth"] = queue_depth(entry["events"])
-        print(f"{exp_id}: {entry['wall_s']:.3f}s "
-              f"({entry['events']['events_popped']} events, queue depth "
-              f"max {entry['queue_depth']['max']} "
-              f"mean {entry['queue_depth']['mean']})")
+        # Analytic experiments never touch the kernel: every counter is
+        # zero and a queue-depth block derived from zeros is noise. Omit
+        # both blocks entirely (bench_diff treats absent-vs-all-zero as
+        # equal, so old reports still compare clean).
+        if not any(entry["events"].values()):
+            del entry["events"]
+            print(f"{exp_id}: {entry['wall_s']:.3f}s (no kernel events)")
+        else:
+            entry["queue_depth"] = queue_depth(entry["events"])
+            print(f"{exp_id}: {entry['wall_s']:.3f}s "
+                  f"({entry['events']['events_popped']} events, queue depth "
+                  f"max {entry['queue_depth']['max']} "
+                  f"mean {entry['queue_depth']['mean']})")
         columns = _scenario_columns(exp_id, experiment_results[exp_id])
         if columns is not None:
             entry["scenario"] = columns

@@ -30,6 +30,7 @@ from repro.experiments import (
     mq_ablation,
     nested,
     region_resilience,
+    region_scale,
     security_exp,
     table1,
     table2,
@@ -45,7 +46,7 @@ ALL_EXPERIMENTS: Dict[str, Callable] = {
         fig1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16,
         cost, nested, iobond_micro, mq_ablation, security_exp, ablations,
         future_work, fault_isolation, chaos_campaign, cross_rack, incast,
-        region_resilience,
+        region_resilience, region_scale,
     )
 }
 

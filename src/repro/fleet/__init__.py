@@ -18,6 +18,12 @@ from repro.fleet.monitors import (
     TierSheddingMonitor,
     region_monitors,
 )
+from repro.fleet.churn import (
+    ChurnPlan,
+    GuestArrayLedger,
+    ScalarChurnEngine,
+    VectorizedChurnEngine,
+)
 from repro.fleet.preemption import PreemptionStudy, run_preemption_study
 from repro.fleet.region import ARRIVAL_STREAM, Region, RegionGuest, RegionSpec
 
@@ -26,6 +32,10 @@ __all__ = [
     "RegionSpec",
     "RegionGuest",
     "ARRIVAL_STREAM",
+    "ChurnPlan",
+    "ScalarChurnEngine",
+    "VectorizedChurnEngine",
+    "GuestArrayLedger",
     "QuarantinePlacementMonitor",
     "DrainExactlyOnceMonitor",
     "TierSheddingMonitor",

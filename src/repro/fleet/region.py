@@ -78,6 +78,12 @@ class RegionSpec:
     )
     instance_type: str = "ebm.e5.32ht"
     n_tenants: int = 64
+    # Build the Clos fabric and routing tables. Scale shards
+    # (experiments/region_scale.py) turn this off: attach-time route
+    # recomputation is quadratic in servers, and a fault-free churn
+    # benchmark never consults the fabric. With the stub, probes treat
+    # storage as always reachable and tor faults cannot be armed.
+    fabric: bool = True
     migration_s: float = 2e-3     # per-guest move time during drain
     drain_retry_s: float = 5e-3   # back-off while waiting for capacity
     drain_timeout_s: float = 2.0  # give up migrating a guest after this
@@ -137,6 +143,28 @@ class RegionGuest:
         return max(0.0, end - self.placed_s)
 
 
+class _AlwaysReachable:
+    """Routing-table stand-in: every node reaches every node."""
+
+    @staticmethod
+    def reachable(src: str, dst: str) -> bool:
+        return True
+
+
+class _StubFabric:
+    """Fabric stand-in for ``RegionSpec(fabric=False)`` scale shards.
+
+    Exposes the two surfaces the region consults — ``tors`` (empty, so
+    tor fault plans are rejected as unknown targets) and
+    ``tables.reachable`` (always true, so probes see storage up).
+    """
+
+    tors: Tuple[str, ...] = ()
+
+    def __init__(self):
+        self.tables = _AlwaysReachable()
+
+
 class Region:
     """Racks + fabric + churn + health + remediation + admission."""
 
@@ -147,9 +175,12 @@ class Region:
         self.audit = AuditLog(sim)
         self.accounting = AvailabilityAccounting(sim)
         self.scheduler = Scheduler()
-        self.network = FabricNetwork(
-            sim, TopologySpec.clos(n_racks=s.n_racks, n_spines=s.n_spines),
-            name="region")
+        if s.fabric:
+            self.network = FabricNetwork(
+                sim, TopologySpec.clos(n_racks=s.n_racks, n_spines=s.n_spines),
+                name="region")
+        else:
+            self.network = _StubFabric()
         # Attach rack-by-rack interleaved so the fabric's round-robin
         # rack assignment matches the name: r{r}-s{i} homes on tor-{r}.
         for i in range(s.servers_per_rack):
@@ -157,7 +188,8 @@ class Region:
                 name = f"r{r}-s{i}"
                 self.scheduler.add_bmhive_server(
                     name, board_slots=s.boards_per_server)
-                self.network.attach_server(name)
+                if s.fabric:
+                    self.network.attach_server(name)
         self._server_names = s.server_names()
         self.rack_servers = {
             rack: s.servers_in_rack(rack) for rack in s.rack_names()}
@@ -177,7 +209,10 @@ class Region:
         self._board_health: Dict[str, BoardHealth] = {
             n: BoardHealth.HEALTHY for n in self._server_names}
 
-        # Guest bookkeeping.
+        # Guest bookkeeping. ``guest_ledger`` is populated by the
+        # vectorized churn engine's array mode (repro.fleet.churn);
+        # when set, population stats come from it instead of ``guests``.
+        self.guest_ledger = None
         self.guests: Dict[str, RegionGuest] = {}
         self._by_server: Dict[str, Dict[str, None]] = {
             n: {} for n in self._server_names}
@@ -219,10 +254,18 @@ class Region:
             yield self.sim.timeout(self.spec.health.probe_interval_s)
 
     # -- churn ---------------------------------------------------------
-    def start(self) -> None:
-        """Spawn the probe sweep and the arrival process."""
-        self.sim.spawn(self._probe_loop(), name="region.probes")
-        self.sim.spawn(self._arrival_loop(), name="region.arrivals")
+    def start(self, probes: bool = True, arrivals: bool = True) -> None:
+        """Spawn the probe sweep and the arrival process.
+
+        Scale shards pass ``probes=False, arrivals=False`` and drive
+        churn through an engine from :mod:`repro.fleet.churn` instead:
+        the probe sweep is O(servers) per interval, and plan-based
+        engines replace the default interleaved arrival loop.
+        """
+        if probes:
+            self.sim.spawn(self._probe_loop(), name="region.probes")
+        if arrivals:
+            self.sim.spawn(self._arrival_loop(), name="region.arrivals")
 
     def _arrival_loop(self):
         s = self.spec
@@ -246,8 +289,8 @@ class Region:
             self._arrive(n, tier, lifetime)
             n += 1
 
-    def _arrive(self, n: int, tier: str,
-                lifetime_s: float) -> Optional[RegionGuest]:
+    def _arrive(self, n: int, tier: str, lifetime_s: float,
+                spawn_life: bool = True) -> Optional[RegionGuest]:
         self.arrivals[tier] += 1
         tenant = f"t{n % self.spec.n_tenants:03d}"
         try:
@@ -285,8 +328,9 @@ class Region:
             self.placements_on_dead += 1
             guest.state = "down"
             self.accounting.record_down(guest.guest_id, cause="placed_on_dead")
-        self.sim.spawn(self._guest_life(guest),
-                       name=f"region.life.{guest.guest_id}")
+        if spawn_life:
+            self.sim.spawn(self._guest_life(guest),
+                           name=f"region.life.{guest.guest_id}")
         return guest
 
     def _guest_life(self, guest: RegionGuest):
@@ -455,6 +499,8 @@ class Region:
     def tier_stats(self, tier: str) -> Dict[str, float]:
         """Availability and population stats over ``tier``'s guests."""
         now = self.sim.now
+        if self.guest_ledger is not None:
+            return self.guest_ledger.tier_stats(tier, now)
         total = downtime = 0.0
         n = 0
         for gid in sorted(self.guests):
@@ -476,6 +522,8 @@ class Region:
         }
 
     def running_guests(self) -> int:
+        if self.guest_ledger is not None:
+            return self.guest_ledger.running_count()
         return sum(1 for g in self.guests.values()
                    if g.state in ("running", "down"))
 

@@ -21,8 +21,9 @@ from __future__ import annotations
 from typing import Dict, Iterable, Optional
 
 from repro.parallel.jobs import (ChaosCampaignJob, ExperimentJob,
-                                 ExperimentShardJob, JobResult, SeedSweepJob,
-                                 execute, is_shardable, resolve_profile)
+                                 ExperimentShardJob, JobResult, RegionShardJob,
+                                 SeedSweepJob, execute, is_shardable,
+                                 resolve_profile)
 from repro.parallel.merge import (VOLATILE_KEYS, WALL_KEYS, bench_diff, merge_bench,
                                   merge_chaos, merge_experiment_shards,
                                   merge_sweep, strip_volatile)
@@ -38,6 +39,7 @@ __all__ = [
     "JobResult",
     "ExperimentJob",
     "ExperimentShardJob",
+    "RegionShardJob",
     "ChaosCampaignJob",
     "SeedSweepJob",
     "execute",

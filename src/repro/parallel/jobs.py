@@ -27,6 +27,7 @@ __all__ = [
     "JobResult",
     "ExperimentJob",
     "ExperimentShardJob",
+    "RegionShardJob",
     "ChaosCampaignJob",
     "SeedSweepJob",
     "execute",
@@ -182,6 +183,119 @@ def is_shardable(experiment: str) -> bool:
     module = sys.modules[runner.__module__]
     return all(hasattr(module, name)
                for name in ("shard_plan", "run_shard", "merge_shards"))
+
+
+@dataclass(frozen=True)
+class RegionShardJob:
+    """One per-rack shard of a region-scale churn run (DESIGN.md §14).
+
+    A shard is a fully independent region — ``racks`` racks of bm
+    servers, fabric stubbed out, probes off — driven by the vectorized
+    churn engine at ``occupancy``-target load for ``duration_s``
+    simulated seconds. Shards of one rung differ only in their derived
+    simulator seed, so a rung is embarrassingly parallel and its merge
+    (summing the deterministic counters in shard order) is byte-
+    identical whether the shards ran inline or across a pool.
+
+    The payload separates deterministic simulation counters from the
+    wall-clock measurements: everything volatile lives under the
+    ``throughput`` key, which the merge layer's
+    :data:`~repro.parallel.merge.VOLATILE_KEYS` ignores when diffing.
+    """
+
+    seed: int
+    rung: int
+    shard: int
+    racks: int
+    servers_per_rack: int = 16
+    boards_per_server: int = 16
+    duration_s: float = 11.0
+    occupancy: float = 0.8
+    mean_lifetime_s: float = 2.0
+    guests: str = "arrays"
+    idle_skip: Optional[bool] = None
+
+    @property
+    def key(self) -> str:
+        return f"region-shard:seed{self.seed}:rung{self.rung}:{self.shard}"
+
+    @property
+    def shard_seed(self) -> int:
+        """Independent per-shard root seed (stable, collision-free)."""
+        return self.seed * 100003 + self.rung * 101 + self.shard
+
+    def run(self) -> Dict:
+        import resource
+
+        from repro.cloud.admission import AdmissionPolicy
+        from repro.fleet import (ChurnPlan, Region, RegionSpec,
+                                 VectorizedChurnEngine)
+        from repro.sim import Simulator
+
+        t_start = time.perf_counter()
+        boards = self.racks * self.servers_per_rack * self.boards_per_server
+        rate = self.occupancy * boards / self.mean_lifetime_s
+        spec = RegionSpec(
+            n_racks=self.racks,
+            servers_per_rack=self.servers_per_rack,
+            boards_per_server=self.boards_per_server,
+            duration_s=self.duration_s,
+            arrival_rate_per_s=rate,
+            mean_lifetime_s=self.mean_lifetime_s,
+            fabric=False,
+            # The front door must not throttle a scale benchmark: the
+            # default per-tier 1000/s buckets would turn region-sized
+            # arrival rates into millions of audited rejections.
+            admission=AdmissionPolicy(
+                limits=(("premium", 1e9, 1e9), ("standard", 1e9, 1e9),
+                        ("best_effort", 1e9, 1e9)),
+                shed_at=(("best_effort", 0.05),)),
+        )
+        sim = Simulator(seed=self.shard_seed)
+        region = Region(sim, spec)
+        plan = ChurnPlan.for_region(region)
+        region.start(probes=False, arrivals=False)
+        engine = VectorizedChurnEngine(region, plan, guests=self.guests)
+        engine.start()
+        t_built = time.perf_counter()
+        sim.run(until=spec.duration_s)
+        run_wall = time.perf_counter() - t_built
+        region.finalize()
+        try:
+            index_ok = region.scheduler.verify_index()
+        except AssertionError:
+            index_ok = False
+        placed = sum(region.placed.values())
+        churn_events = len(engine._ev_time)
+        wall = time.perf_counter() - t_start
+        return {
+            "rung": self.rung,
+            "shard": self.shard,
+            "racks": self.racks,
+            "servers": self.racks * self.servers_per_rack,
+            "boards": boards,
+            "arrivals": len(plan),
+            "placed": placed,
+            "exits": region.exits,
+            "running_at_end": region.running_guests(),
+            "shed": sum(region.shed.values()),
+            "capacity_rejections": sum(region.capacity_rejections.values()),
+            "churn_events": churn_events,
+            "index_ok": index_ok,
+            "audit_ok": region.audit.verify(),
+            "audit_entries": len(region.audit),
+            "throughput": {
+                "wall_s": round(wall, 6),
+                "build_wall_s": round(t_built - t_start, 6),
+                "run_wall_s": round(run_wall, 6),
+                "placements_per_s": round(placed / run_wall, 1)
+                if run_wall > 0 else 0.0,
+                "churn_events_per_s": round(churn_events / run_wall, 1)
+                if run_wall > 0 else 0.0,
+                "peak_rss_kb": int(
+                    resource.getrusage(resource.RUSAGE_SELF).ru_maxrss),
+            },
+        }
 
 
 @dataclass(frozen=True)

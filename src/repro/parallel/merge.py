@@ -31,6 +31,8 @@ __all__ = [
 
 # Report fields that legitimately differ between two otherwise
 # equivalent runs: wall-clock measurements and run-metadata stamps.
+# "throughput" is the region-scale benchmark's wall-derived subtree
+# (placements/sec, peak RSS, ...) — volatile as a whole.
 VOLATILE_KEYS = frozenset({
     "wall_s",
     "total_wall_s",
@@ -39,6 +41,7 @@ VOLATILE_KEYS = frozenset({
     "git_commit",
     "jobs",
     "attempts",
+    "throughput",
 })
 
 # The wall-clock subset of VOLATILE_KEYS: with a tolerance these are
@@ -58,6 +61,27 @@ def strip_volatile(report: dict) -> dict:
         return node
 
     return scrub(copy.deepcopy(report))
+
+
+def _zero_like(value) -> bool:
+    """True for values equivalent to "no traffic recorded".
+
+    Older BENCH files wrote all-zero ``events``/``queue_depth`` blocks
+    for analytic experiments that never touch the kernel; newer ones
+    omit the blocks entirely. A key present on one side only is not a
+    difference when its value carries no information: numeric zero, or
+    a container of (recursively) zero-like values. Booleans and strings
+    are never zero-like — ``False``/``""`` are statements, not absence.
+    """
+    if isinstance(value, bool):
+        return False
+    if isinstance(value, (int, float)):
+        return value == 0
+    if isinstance(value, dict):
+        return all(_zero_like(v) for v in value.values())
+    if isinstance(value, (list, tuple)):
+        return all(_zero_like(v) for v in value)
+    return False
 
 
 def bench_diff(a: dict, b: dict,
@@ -137,9 +161,11 @@ def bench_diff(a: dict, b: dict,
                     continue
                 child = f"{path}.{key}" if path else key
                 if key not in left:
-                    differences.append(f"{child}: only in second")
+                    if not _zero_like(right[key]):
+                        differences.append(f"{child}: only in second")
                 elif key not in right:
-                    differences.append(f"{child}: only in first")
+                    if not _zero_like(left[key]):
+                        differences.append(f"{child}: only in first")
                 elif (key in WALL_KEYS and wall_tolerance is not None
                       and isinstance(left[key], (int, float))
                       and isinstance(right[key], (int, float))):

@@ -371,6 +371,31 @@ class Simulator:
         """Schedule ``event`` at an absolute time (doorbell wakeups)."""
         self._queue.push(when, next(self._counter), event)
 
+    def schedule_batch(self, whens, events) -> None:
+        """Schedule many events at absolute times in one queue call.
+
+        ``whens`` and ``events`` are parallel sequences; entry *i* pops
+        at ``whens[i]``. Insertion counters are assigned in sequence
+        order, so the result is indistinguishable from calling
+        :meth:`_schedule_at` in a loop — same pop order, same
+        counters — but homogeneous floods (the vectorized churn
+        engine's batch wakeups) pay one bulk ``push_batch`` instead of
+        a Python-level push per event. Falls back to the loop when the
+        queue implementation lacks ``push_batch``.
+        """
+        if len(whens) != len(events):
+            raise ValueError(
+                f"whens/events length mismatch: {len(whens)} != {len(events)}")
+        counter = self._counter
+        push_batch = getattr(self._queue, "push_batch", None)
+        if push_batch is None:
+            push = self._queue.push
+            for when, event in zip(whens, events):
+                push(float(when), next(counter), event)
+            return
+        push_batch([(float(when), next(counter), event)
+                    for when, event in zip(whens, events)])
+
     # -- main loop ----------------------------------------------------------
     def _dispatch(self, event: Event) -> None:
         """Fire one popped event (clock already advanced)."""

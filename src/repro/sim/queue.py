@@ -31,13 +31,22 @@ for the heap-vs-calendar equivalence gate).
 Every queue also keeps depth/traffic counters (``pushes``, ``pops``,
 ``len_max``, ``len_sum``, ``overflows``) that the simulator surfaces
 through :class:`~repro.sim.core.EventStats`.
+
+Batch traffic (DESIGN.md §14): homogeneous event floods — the
+vectorized churn engine's per-batch wakeups, dense poll grids — go
+through ``push_batch``/``pop_batch``. Both are *observably identical*
+to the equivalent sequence of ``push``/``pop`` calls (same pop order,
+same counters; the property tests in ``tests/sim/test_queue.py`` check
+this on random schedules) but skip per-call overhead: the heap variant
+bulk-loads with ``heapify`` when the batch rivals the resident heap,
+and both variants hoist attribute lookups out of the loop.
 """
 
 from __future__ import annotations
 
 import os
-from heapq import heappop, heappush, heappushpop
-from typing import List, Tuple
+from heapq import heapify, heappop, heappush, heappushpop
+from typing import Iterable, List, Tuple
 
 __all__ = [
     "HeapQueue",
@@ -98,6 +107,45 @@ class HeapQueue:
     def peek_when(self) -> float:
         heap = self._heap
         return heap[0][0] if heap else _INF
+
+    def push_batch(self, entries: Iterable[Entry]) -> None:
+        """Push many entries; equivalent to ``push`` in a loop.
+
+        When the batch is large relative to the resident heap, bulk
+        ``extend`` + ``heapify`` beats n sift-ups; small batches keep
+        the incremental path so a resident million-entry heap is not
+        rebuilt for a handful of pushes.
+        """
+        entries = list(entries)
+        if not entries:
+            return
+        heap = self._heap
+        if len(entries) * 4 >= len(heap):
+            heap.extend(entries)
+            heapify(heap)
+        else:
+            for entry in entries:
+                heappush(heap, entry)
+        self.pushes += len(entries)
+        n = len(heap)
+        if n > self.len_max:
+            self.len_max = n
+
+    def pop_batch(self) -> List[Entry]:
+        """Pop every entry sharing the earliest ``when``, in order."""
+        heap = self._heap
+        if not heap:
+            raise IndexError("pop from an empty event queue")
+        n = len(heap)
+        when = heap[0][0]
+        out: List[Entry] = []
+        while heap and heap[0][0] == when:
+            out.append(heappop(heap))
+        k = len(out)
+        self.pops += k
+        # Sequential pops would have charged depths n, n-1, ..., n-k+1.
+        self.len_sum += k * n - (k * (k - 1)) // 2
+        return out
 
 
 class CalendarQueue:
@@ -252,6 +300,51 @@ class CalendarQueue:
                 return overflow[0][0]
             return when
         return overflow[0][0] if overflow else _INF
+
+    def push_batch(self, entries: Iterable[Entry]) -> None:
+        """Push many entries; equivalent to ``push`` in a loop.
+
+        One pass with the routing state hoisted into locals; counters
+        are settled once at the end (``len_max`` only needs the final
+        depth because pushes never shrink the queue).
+        """
+        count = 0
+        inv = self._inv_width
+        cur_tick = self._cur_tick
+        limit = cur_tick + self.horizon
+        cur = self._cur
+        overflow = self._overflow
+        buckets = self._buckets
+        ticks = self._ticks
+        for entry in entries:
+            tick = int(entry[0] * inv)
+            if tick == cur_tick:
+                heappush(cur, entry)
+            elif tick >= limit:
+                heappush(overflow, entry)
+                self.overflows += 1
+            else:
+                bucket = buckets.get(tick)
+                if bucket is None:
+                    buckets[tick] = bucket = []
+                    heappush(ticks, tick)
+                heappush(bucket, entry)
+            count += 1
+        self._len += count
+        self.pushes += count
+        if self._len > self.len_max:
+            self.len_max = self._len
+
+    def pop_batch(self) -> List[Entry]:
+        """Pop every entry sharing the earliest ``when``, in order."""
+        if not self._len:
+            raise IndexError("pop from an empty event queue")
+        first = self.pop()
+        out = [first]
+        when = first[0]
+        while self._len and self.peek_when() == when:
+            out.append(self.pop())
+        return out
 
 
 QUEUE_KINDS = {

@@ -1,0 +1,116 @@
+"""Indexed-scheduler internals: the O(1) fast paths stay truthful.
+
+The rewrite replaced ``place()``'s linear scan with headroom buckets,
+per-kind availability heaps, and incrementally-maintained aggregate
+totals. Correctness of the *placements* is pinned by the original
+scheduler suite (unchanged); this file pins the index itself — cached
+summaries equal a from-scratch numpy recompute after any operation
+sequence, ``place_board``/``release_board`` are exactly ``place``/
+``release`` minus the Placement object, and ``verify_index`` actually
+catches corruption.
+"""
+
+import pytest
+
+from repro.cloud import CapacityError, Scheduler, instance
+
+
+def _fleet(n_bm=6, n_kvm=3):
+    sched = Scheduler()
+    for i in range(n_bm):
+        sched.add_bmhive_server(f"hive-{i}", board_slots=4)
+    for i in range(n_kvm):
+        sched.add_kvm_server(f"kvm-{i}", sellable_hyperthreads=88)
+    return sched
+
+
+class TestAggregateIndex:
+    def test_summary_matches_recompute_through_churn(self):
+        sched = _fleet()
+        placements = []
+        for step in range(24):
+            placements.append(sched.place(instance("ebm.e5.32ht")))
+            if step % 3 == 2:
+                sched.release(placements.pop(0).instance_id)
+            if step == 10:
+                sched.quarantine("hive-1")
+            if step == 15:
+                sched.readmit("hive-1")
+            assert sched.capacity_summary() == sched.recompute_summary()
+            assert sched.verify_index()
+
+    def test_summary_key_order_is_stable(self):
+        sched = _fleet()
+        expected = ["bm_servers", "kvm_servers", "boards_total",
+                    "boards_used", "boards_free", "ht_total", "ht_used",
+                    "ht_free", "quarantined_servers", "quarantined_boards",
+                    "quarantined_ht"]
+        assert list(sched.capacity_summary()) == expected
+        assert list(sched.recompute_summary()) == expected
+
+    def test_healthy_headroom_tracks_quarantine(self):
+        sched = _fleet(n_bm=4, n_kvm=0)
+        assert sched.healthy_headroom("bm") == 1.0
+        sched.quarantine("hive-0")
+        sched.quarantine("hive-1")
+        assert sched.healthy_headroom("bm") == 0.5
+        sched.readmit("hive-0")
+        assert sched.healthy_headroom("bm") == 0.75
+
+    def test_headroom_histogram_counts_free_levels(self):
+        sched = _fleet(n_bm=3, n_kvm=0)
+        assert sched.headroom_histogram("bmhive") == {4: 3}
+        sched.place(instance("ebm.e5.32ht"))
+        assert sched.headroom_histogram("bmhive") == {3: 1, 4: 2}
+        sched.quarantine("hive-0")
+        histogram = sched.headroom_histogram("bmhive")
+        assert sum(histogram.values()) == 2
+
+    def test_verify_index_catches_corruption(self):
+        sched = _fleet()
+        sched.place(instance("ebm.e5.32ht"))
+        sched._totals["boards_free"] += 1
+        with pytest.raises(AssertionError):
+            sched.verify_index()
+
+
+class TestBoardFastPath:
+    def test_place_board_is_first_fit_parity(self):
+        """place_board picks the same server sequence place() would."""
+        a, b = _fleet(), _fleet()
+        for _ in range(6 * 4):
+            via_place = a.place(instance("ebm.e5.32ht")).server
+            via_board = b.server_name(b.place_board())
+            assert via_board == via_place
+        with pytest.raises(CapacityError):
+            b.place_board()
+
+    def test_release_board_restores_exactly(self):
+        sched = _fleet(n_bm=2, n_kvm=0)
+        indices = [sched.place_board() for _ in range(8)]
+        assert sched.capacity_summary()["boards_free"] == 0
+        for index in indices:
+            sched.release_board(index)
+        assert sched.capacity_summary()["boards_free"] == 8
+        assert sched.capacity_summary() == sched.recompute_summary()
+        assert sched.verify_index()
+
+    def test_place_board_skips_quarantined(self):
+        sched = _fleet(n_bm=2, n_kvm=0)
+        sched.quarantine("hive-0")
+        for _ in range(4):
+            assert sched.server_name(sched.place_board()) == "hive-1"
+        with pytest.raises(CapacityError):
+            sched.place_board()
+
+    def test_interleaved_board_and_placement_paths(self):
+        """Both APIs drive one shared index without drift."""
+        sched = _fleet(n_bm=3, n_kvm=1)
+        board = sched.place_board()
+        placement = sched.place(instance("ebm.e5.32ht"))
+        vm = sched.place(instance("ecs.e5.32ht"))
+        sched.release_board(board)
+        sched.release(placement.instance_id)
+        sched.release(vm.instance_id)
+        assert sched.capacity_summary() == sched.recompute_summary()
+        assert sched.verify_index()

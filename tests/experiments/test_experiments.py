@@ -10,7 +10,7 @@ EXPECTED_IDS = {
     "fig12", "fig13", "fig14", "fig15", "fig16",
     "cost", "nested", "iobond_micro", "security", "ablations",
     "future_work", "fault_isolation", "chaos_campaign", "mq_ablation",
-    "cross_rack", "incast", "region_resilience",
+    "cross_rack", "incast", "region_resilience", "region_scale",
 }
 
 

@@ -279,3 +279,41 @@ class TestMergeSweep:
         assert aggregate["passed_seeds"] == 1
         assert aggregate["all_passed"] is False
         assert aggregate["distinct_row_digests"] == 2
+
+
+class TestAbsentVersusZero:
+    """Absent keys equal all-zero values: old BENCH files wrote zero
+    ``events``/``queue_depth`` blocks where new ones omit the block."""
+
+    def test_missing_all_zero_events_block_is_not_a_difference(self):
+        old = {"experiments": {"cost": {
+            "events": {"events_popped": 0, "events_pushed": 0},
+            "queue_depth": {"max": 0, "mean": 0.0}}}}
+        new = {"experiments": {"cost": {}}}
+        assert bench_diff(old, new) == []
+        assert bench_diff(new, old) == []
+
+    def test_nonzero_block_still_diffs(self):
+        old = {"experiments": {"f": {"events": {"events_popped": 7}}}}
+        new = {"experiments": {"f": {}}}
+        assert bench_diff(old, new) == ["experiments.f.events: only in first"]
+        assert bench_diff(new, old) == ["experiments.f.events: only in second"]
+
+    def test_false_and_empty_string_are_not_zero_like(self):
+        a = {"x": {"flag": False}}
+        b = {"x": {}}
+        assert bench_diff(a, b) == ["x.flag: only in first"]
+        assert bench_diff({"x": {"s": ""}}, b) == ["x.s: only in first"]
+
+    def test_empty_containers_are_zero_like(self):
+        assert bench_diff({"x": {"rows": []}}, {"x": {}}) == []
+        assert bench_diff({"x": {"rows": {}}}, {"x": {}}) == []
+
+    def test_throughput_subtree_is_volatile(self):
+        a = {"experiments": {"r": {"scenario": {
+            "rungs": {"racks4": {"placements": 10}},
+            "throughput": {"racks4": {"placements_per_s": 99.0}}}}}}
+        b = {"experiments": {"r": {"scenario": {
+            "rungs": {"racks4": {"placements": 10}},
+            "throughput": {"racks4": {"placements_per_s": 12345.0}}}}}}
+        assert bench_diff(a, b) == []

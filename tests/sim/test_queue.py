@@ -210,3 +210,108 @@ def test_property_simulator_trace_independent_of_queue(seed):
         return log
 
     assert trace_with("heap") == trace_with("calendar")
+
+
+# -- batch operations (push_batch / pop_batch) -------------------------
+
+def _counters(queue):
+    return {name: getattr(queue, name)
+            for name in ("pushes", "pops", "len_max", "len_sum",
+                         "overflows")}
+
+
+_batch_whens = st.lists(
+    st.floats(min_value=0.0, max_value=1e-3,
+              allow_nan=False, allow_infinity=False),
+    max_size=120,
+)
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+@settings(max_examples=150, deadline=None)
+@given(pre=_batch_whens, batch=_batch_whens)
+def test_property_push_batch_equals_sequential_pushes(kind, pre, batch):
+    """push_batch is observably one loop of push: order AND counters."""
+    counter = itertools.count()
+    pre_entries = [(when, next(counter), None) for when in pre]
+    batch_entries = [(when, next(counter), None) for when in batch]
+
+    sequential = make_queue(kind)
+    batched = make_queue(kind)
+    for entry in pre_entries:
+        sequential.push(*entry)
+        batched.push(*entry)
+    for entry in batch_entries:
+        sequential.push(*entry)
+    batched.push_batch(batch_entries)
+
+    assert _counters(batched) == _counters(sequential)
+    assert _drain(batched) == _drain(sequential)
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+@settings(max_examples=150, deadline=None)
+@given(whens=_batch_whens)
+def test_property_pop_batch_equals_sequential_pops(kind, whens):
+    """pop_batch drains exactly the earliest timestamp, counters equal."""
+    entries = [(when, counter, None)
+               for counter, when in enumerate(whens)]
+    sequential = make_queue(kind)
+    batched = make_queue(kind)
+    for entry in entries:
+        sequential.push(*entry)
+        batched.push(*entry)
+
+    while len(batched):
+        got = batched.pop_batch()
+        assert got, "pop_batch returned nothing from a non-empty queue"
+        earliest = got[0][0]
+        assert all(entry[0] == earliest for entry in got)
+        expect = [sequential.pop() for _ in got]
+        assert got == expect
+        if len(sequential):
+            assert sequential.peek_when() > earliest
+        assert _counters(batched) == _counters(sequential)
+    assert len(sequential) == 0
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_pop_batch_empty_queue_raises(kind):
+    with pytest.raises(IndexError):
+        make_queue(kind).pop_batch()
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_push_batch_empty_is_noop(kind):
+    queue = make_queue(kind)
+    queue.push_batch([])
+    assert len(queue) == 0
+    assert _counters(queue)["pushes"] == 0
+
+
+def test_schedule_batch_matches_sequential_schedules():
+    """Simulator.schedule_batch fires callbacks in timestamp order."""
+
+    def run(batch):
+        sim = Simulator(seed=7)
+        log = []
+        whens = [3e-6, 1e-6, 2e-6, 1e-6, 5e-6]
+        events = [sim.event() for _ in whens]
+        for index, ev in enumerate(events):
+            ev.callbacks = [
+                lambda _, index=index: log.append((sim.now, index))]
+        if batch:
+            sim.schedule_batch(whens, events)
+        else:
+            for when, ev in zip(whens, events):
+                sim._schedule_at(when, ev)
+        sim.run()
+        return log
+
+    assert run(batch=True) == run(batch=False)
+
+
+def test_schedule_batch_length_mismatch_raises():
+    sim = Simulator(seed=0)
+    with pytest.raises(ValueError):
+        sim.schedule_batch([1e-6], [])
